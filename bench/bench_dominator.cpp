@@ -1,0 +1,86 @@
+// E7 — Lemma 3.7 certification sweep: exact minimum dominator sets of
+// sub-problem output sets Z, compared with the |Z|/2 guarantee, across
+// algorithms, CDAG sizes, sub-problem sizes and Z-selection strategies.
+#include <cstdio>
+#include <iostream>
+
+#include "bilinear/catalog.hpp"
+#include "bounds/dominator_cert.hpp"
+#include "cdag/builder.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace fmm;
+
+  std::printf("=== E7: Lemma 3.7 — min dominator >= |Z|/2 ===\n\n");
+
+  Table table({"Algorithm", "n", "r", "Z choice", "Samples",
+               "Worst |G|/(|Z|/2)", "All hold"});
+
+  Rng rng(424242);
+  const auto choice_name = [](bounds::ZChoice choice) {
+    switch (choice) {
+      case bounds::ZChoice::kSingleSubproblem:
+        return "single sub-problem";
+      case bounds::ZChoice::kUniformRandom:
+        return "uniform random";
+      case bounds::ZChoice::kColumnSlices:
+        return "slices across subs";
+    }
+    return "?";
+  };
+
+  for (const auto& alg :
+       {bilinear::strassen(), bilinear::winograd(),
+        bilinear::strassen_transposed()}) {
+    for (const std::size_t n : {4u, 8u, 16u}) {
+      for (const std::size_t r : {std::size_t{2}, std::size_t{4}}) {
+        if (r >= n) {
+          continue;
+        }
+        for (const auto choice : {bounds::ZChoice::kSingleSubproblem,
+                                  bounds::ZChoice::kUniformRandom,
+                                  bounds::ZChoice::kColumnSlices}) {
+          const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+          const std::size_t samples = n <= 8 ? 8 : 4;
+          const auto cert = bounds::certify_dominator_bound(
+              cdag, r, samples, choice, rng);
+          table.begin_row();
+          table.add_cell(alg.name());
+          table.add_cell(static_cast<std::uint64_t>(n));
+          table.add_cell(static_cast<std::uint64_t>(r));
+          table.add_cell(choice_name(choice));
+          table.add_cell(cert.samples.size());
+          table.add_cell(cert.worst_ratio);
+          table.add_cell(cert.all_hold ? "yes" : "NO");
+        }
+      }
+    }
+  }
+  table.print_console(std::cout);
+
+  std::printf("\n=== Whole-problem dominators (r = n) ===\n\n");
+  Table whole({"Algorithm", "n", "|Z| = n^2", "Min dominator",
+               "Ratio to n^2/2"});
+  for (const auto& alg : {bilinear::strassen(), bilinear::winograd()}) {
+    for (const std::size_t n : {2u, 4u, 8u, 16u}) {
+      const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+      const std::size_t dom =
+          bounds::min_dominator_size(cdag, cdag.outputs);
+      whole.begin_row();
+      whole.add_cell(alg.name());
+      whole.add_cell(static_cast<std::uint64_t>(n));
+      whole.add_cell(static_cast<std::uint64_t>(n * n));
+      whole.add_cell(dom);
+      whole.add_cell(static_cast<double>(dom) /
+                     (static_cast<double>(n * n) / 2.0));
+    }
+  }
+  whole.print_console(std::cout);
+
+  std::printf("\nEvery ratio >= 1.0 certifies the lemma on that instance; "
+              "the min dominator is computed EXACTLY (max-flow/Menger), "
+              "so these are proofs for the sampled Z sets.\n");
+  return 0;
+}

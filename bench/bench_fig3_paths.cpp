@@ -1,0 +1,56 @@
+// F3 — Regenerates Figure 3 (the path structure of Lemma 3.11):
+// measures, by exact max-flow, the number of vertex-disjoint paths from
+// V_inp(H^{n x n}) to the operand set of sub-problems whose outputs Z
+// remain reachable when an internal set Γ is removed, and compares with
+// the guarantee 2 r sqrt(|Z| - 2|Γ|).
+#include <cstdio>
+#include <iostream>
+
+#include "bilinear/catalog.hpp"
+#include "bounds/dominator_cert.hpp"
+#include "cdag/builder.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace fmm;
+
+  std::printf("=== Figure 3 / Lemma 3.11: vertex-disjoint path counts "
+              "===\n\n");
+
+  Table table({"Algorithm", "n", "r", "|Z|", "|Gamma|", "Paths (measured)",
+               "2r*sqrt(|Z|-2|G|)", "Holds"});
+
+  Rng rng(20260706);
+  for (const auto* name : {"strassen", "winograd"}) {
+    const auto alg = std::string(name) == "strassen"
+                         ? bilinear::strassen()
+                         : bilinear::winograd();
+    for (const std::size_t n : {4u, 8u, 16u}) {
+      const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+      for (const std::size_t r : {std::size_t{2}, std::size_t{4}}) {
+        if (r > n / 2) {
+          continue;
+        }
+        const auto samples = bounds::certify_disjoint_paths(cdag, r, 6, rng);
+        for (const auto& sample : samples) {
+          table.begin_row();
+          table.add_cell(alg.name());
+          table.add_cell(static_cast<std::uint64_t>(n));
+          table.add_cell(static_cast<std::uint64_t>(r));
+          table.add_cell(sample.z_size);
+          table.add_cell(sample.gamma_size);
+          table.add_cell(sample.disjoint_paths);
+          table.add_cell(sample.guaranteed);
+          table.add_cell(sample.holds ? "yes" : "NO");
+        }
+      }
+    }
+  }
+  table.print_console(std::cout);
+
+  std::printf("\nEvery measured path count must be >= the guarantee; with "
+              "|Gamma| = 0 and |Z| = r^2 the guarantee 2r^2 equals the "
+              "number of sub-problem operands (tight).\n");
+  return 0;
+}

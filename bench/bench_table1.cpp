@@ -1,0 +1,216 @@
+// T1 — Regenerates the paper's Table I ("Known lower bounds"): one row
+// per algorithm class, with the bound formulas evaluated on a reference
+// configuration AND a measured data point from this repository's
+// simulators, plus the with/without-recomputation status columns exactly
+// as the paper reports them.
+//
+// The paper's table is symbolic; the reproduction makes it concrete: for
+// each row we print the Ω(...) value at (n, M, P) and what our measured
+// simulator/operational model achieves, so the ordering and ratios can
+// be inspected.
+#include <cstdio>
+#include <iostream>
+
+#include "bilinear/catalog.hpp"
+#include "bounds/formulas.hpp"
+#include "cdag/builder.hpp"
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+#include "fft/fft_io.hpp"
+#include "parallel/caps.hpp"
+#include "parallel/classical_comm.hpp"
+#include "pebble/machine.hpp"
+#include "pebble/schedules.hpp"
+
+namespace {
+
+using namespace fmm;
+
+// Reference configurations.
+constexpr double kN = 4096;     // matrix dimension for formula evaluation
+constexpr double kM = 4096;     // words of fast memory
+constexpr double kP = 343;      // processors (7^3)
+
+std::int64_t measured_sequential_io(const bilinear::BilinearAlgorithm& alg,
+                                    std::size_t n, std::int64_t m) {
+  const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+  pebble::SimOptions options;
+  options.cache_size = m;
+  return pebble::simulate(cdag, pebble::dfs_schedule(cdag), options)
+      .total_io();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: known I/O lower bounds, evaluated at n=%g, "
+              "M=%g, P=%g ===\n\n",
+              kN, kM, kP);
+
+  Table table({"Algorithm", "Bound (mem-dep)", "Bound (mem-indep)",
+               "w/o recomp", "with recomp"});
+
+  const bounds::MmParams par{kN, kM, kP};
+
+  table.begin_row();
+  table.add_cell("Classic matrix multiplication");
+  table.add_cell(bounds::classic_memory_dependent(par));
+  table.add_cell(bounds::classic_memory_independent(par));
+  table.add_cell("[2] et al.");
+  table.add_cell("not relevant (no reuse of internal values)");
+
+  table.begin_row();
+  table.add_cell("Strassen's matrix multiplication");
+  table.add_cell(bounds::fast_memory_dependent(par, kOmega0));
+  table.add_cell(bounds::fast_memory_independent(par, kOmega0));
+  table.add_cell("[8]-[10], [1]");
+  table.add_cell("[10] + THIS REPRODUCTION (certified)");
+
+  table.begin_row();
+  table.add_cell("Other fast MM, 2x2 base (Winograd, duals, ...)");
+  table.add_cell(bounds::fast_memory_dependent(par, kOmega0));
+  table.add_cell(bounds::fast_memory_independent(par, kOmega0));
+  table.add_cell("THIS REPRODUCTION (certified)");
+  table.add_cell("THIS REPRODUCTION (certified)");
+
+  {
+    // General base case: <4,4,4;49> has the same exponent log4(49).
+    const double omega = bilinear::strassen_squared().omega();
+    table.begin_row();
+    table.add_cell("Fast MM, general base (<4,4,4;49>)");
+    table.add_cell(bounds::fast_memory_dependent(par, omega));
+    table.add_cell(bounds::fast_memory_independent(par, omega));
+    table.add_cell("[8]-[10], [1]");
+    table.add_cell("open (paper Section V)");
+  }
+  {
+    // General base case with a different exponent: the bordered
+    // <3,3,3;26> (omega = log3 26 ~ 2.966).
+    const double omega = bilinear::strassen_bordered_3x3().omega();
+    table.begin_row();
+    table.add_cell("Fast MM, general base (<3,3,3;26> bordered)");
+    table.add_cell(bounds::fast_memory_dependent(par, omega));
+    table.add_cell(bounds::fast_memory_independent(par, omega));
+    table.add_cell("[8]-[10], [1]");
+    table.add_cell("open (paper Section V)");
+  }
+
+  {
+    // Rectangular <2,2,4;14> run for t = log2(n) levels.
+    const double t_levels = 12;  // 4096 = 2^12
+    table.begin_row();
+    table.add_cell("Rectangular fast MM (<2,2,4;14> base)");
+    table.add_cell(bounds::rectangular_bound(2, 4, 14, t_levels, kM, kP));
+    table.add_cell("-");
+    table.add_cell("[22]");
+    table.add_cell("open (paper Section V)");
+  }
+
+  table.begin_row();
+  table.add_cell("Fast Fourier transform");
+  table.add_cell(bounds::fft_memory_dependent(kN * kN, kM, kP));
+  table.add_cell(bounds::fft_memory_independent(kN * kN, kP));
+  table.add_cell("[12], [5], [11]");
+  table.add_cell("[13]");
+
+  table.print_console(std::cout);
+
+  // ---- Measured side: each row's representative simulated at lab scale.
+  std::printf("\n=== Measured counterparts (simulation scale) ===\n\n");
+  Table measured({"Row", "Config", "Measured", "Bound", "Measured/Bound"});
+
+  {
+    const std::size_t n = 32;
+    const std::int64_t m = 64;
+    const std::int64_t io =
+        measured_sequential_io(bilinear::classic(2, 2, 2), n, m);
+    const double bound = bounds::classic_memory_dependent(
+        {static_cast<double>(n), static_cast<double>(m), 1});
+    measured.begin_row();
+    measured.add_cell("Classic, sequential (pebble sim, DFS+LRU)");
+    measured.add_cell("n=32 M=64");
+    measured.add_cell(io);
+    measured.add_cell(bound);
+    measured.add_cell(format_ratio(static_cast<double>(io) / bound));
+  }
+  {
+    const std::size_t n = 32;
+    const std::int64_t m = 64;
+    const std::int64_t io =
+        measured_sequential_io(bilinear::strassen(), n, m);
+    const double bound = bounds::fast_memory_dependent(
+        {static_cast<double>(n), static_cast<double>(m), 1}, kOmega0);
+    measured.begin_row();
+    measured.add_cell("Strassen, sequential (pebble sim, DFS+LRU)");
+    measured.add_cell("n=32 M=64");
+    measured.add_cell(io);
+    measured.add_cell(bound);
+    measured.add_cell(format_ratio(static_cast<double>(io) / bound));
+  }
+  {
+    const std::size_t n = 32;
+    const std::int64_t m = 64;
+    const std::int64_t io =
+        measured_sequential_io(bilinear::winograd(), n, m);
+    const double bound = bounds::fast_memory_dependent(
+        {static_cast<double>(n), static_cast<double>(m), 1}, kOmega0);
+    measured.begin_row();
+    measured.add_cell("Winograd (2x2 base), sequential");
+    measured.add_cell("n=32 M=64");
+    measured.add_cell(io);
+    measured.add_cell(bound);
+    measured.add_cell(format_ratio(static_cast<double>(io) / bound));
+  }
+  {
+    const std::int64_t n = 1024;
+    const std::int64_t p = 49;
+    const auto caps = parallel::simulate_caps(n, p);
+    const double bound = bounds::fast_memory_independent(
+        {static_cast<double>(n), 1, static_cast<double>(p)}, kOmega0);
+    measured.begin_row();
+    measured.add_cell("Strassen, parallel (CAPS model)");
+    measured.add_cell("n=1024 P=49 M=inf");
+    measured.add_cell(caps.words_per_proc);
+    measured.add_cell(bound);
+    measured.add_cell(
+        format_ratio(static_cast<double>(caps.words_per_proc) / bound));
+  }
+  {
+    const std::int64_t n = 1024;
+    const std::int64_t p = 64;
+    const auto comm = parallel::cannon_2d(n, p);
+    const double m = 3.0 * static_cast<double>(n) * static_cast<double>(n) /
+                     static_cast<double>(p);
+    const double bound = bounds::classic_memory_dependent(
+        {static_cast<double>(n), m, static_cast<double>(p)});
+    measured.begin_row();
+    measured.add_cell("Classic, parallel 2D (Cannon model)");
+    measured.add_cell("n=1024 P=64 M=3n^2/P");
+    measured.add_cell(comm.words_per_proc);
+    measured.add_cell(bound);
+    measured.add_cell(
+        format_ratio(static_cast<double>(comm.words_per_proc) / bound));
+  }
+  {
+    const std::int64_t n = 1 << 20;
+    const std::int64_t m = 1 << 10;
+    const auto io = fft::blocked_fft_io(n, m);
+    const double bound = bounds::fft_memory_dependent(
+        static_cast<double>(n), static_cast<double>(m), 1);
+    measured.begin_row();
+    measured.add_cell("FFT, sequential (four-step blocked)");
+    measured.add_cell("n=2^20 M=2^10");
+    measured.add_cell(io.total());
+    measured.add_cell(bound);
+    measured.add_cell(
+        format_ratio(static_cast<double>(io.total()) / bound));
+  }
+
+  measured.print_console(std::cout);
+  std::printf(
+      "\nReading: every Measured/Bound ratio must be >= a positive "
+      "constant; fast-MM rows use exponent log2(7)=%.4f, classic rows "
+      "exponent 3.\n",
+      kOmega0);
+  return 0;
+}

@@ -1,0 +1,329 @@
+// fmmio — command-line driver for the library.
+//
+//   fmmio list
+//   fmmio certify  <algorithm>
+//   fmmio bounds   --n N --m M [--p P]
+//   fmmio simulate <algorithm> --n N --m M [--schedule dfs|bfs|random]
+//                  [--policy lru|opt] [--remat] [--write-cost W]
+//   fmmio cdag     <algorithm> --n N [--dot]
+//   fmmio parallel --n N --p P [--m M]
+//
+// Algorithms: strassen, winograd, strassen-dual, strassen-perm,
+//             winograd-dual, classic.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bilinear/catalog.hpp"
+#include "bounds/dominator_cert.hpp"
+#include "bounds/encoder_lemmas.hpp"
+#include "bounds/formulas.hpp"
+#include "bounds/segments.hpp"
+#include "cdag/builder.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "parallel/caps.hpp"
+#include "parallel/distsim.hpp"
+#include "pebble/liveness.hpp"
+#include "pebble/machine.hpp"
+#include "pebble/schedules.hpp"
+
+namespace {
+
+using namespace fmm;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  bool has(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string get(const std::string& name, const std::string& fallback)
+      const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return fallback;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback)
+      const {
+    const std::string raw = get(name, "");
+    return raw.empty() ? fallback : std::atoll(raw.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string value = "true";
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      args.flags.emplace_back(token.substr(2), value);
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+bilinear::BilinearAlgorithm pick(const std::string& name) {
+  if (name == "strassen") return bilinear::strassen();
+  if (name == "winograd") return bilinear::winograd();
+  if (name == "strassen-dual") return bilinear::strassen_transposed();
+  if (name == "strassen-perm") return bilinear::strassen_permuted();
+  if (name == "winograd-dual") return bilinear::winograd_transposed();
+  if (name == "classic") return bilinear::classic(2, 2, 2);
+  std::fprintf(stderr, "unknown algorithm '%s'; try `fmmio list`\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int cmd_list() {
+  Table table({"Name", "Base", "Products", "Base adds", "Leading coef",
+               "omega"});
+  const auto row = [&](const bilinear::BilinearAlgorithm& alg) {
+    table.begin_row();
+    table.add_cell(alg.name());
+    table.add_cell(std::to_string(alg.n()) + "x" + std::to_string(alg.m()) +
+                   "x" + std::to_string(alg.p()));
+    table.add_cell(alg.num_products());
+    table.add_cell(alg.base_linear_ops());
+    table.add_cell(alg.is_square() && alg.num_products() > alg.n() * alg.p()
+                       ? format_double(alg.leading_coefficient())
+                       : std::string("-"));
+    table.add_cell(alg.is_square() ? format_double(alg.omega())
+                                   : std::string("-"));
+  };
+  for (const auto& alg : bilinear::all_fast_2x2_algorithms()) {
+    row(alg);
+  }
+  row(bilinear::classic(2, 2, 2));
+  row(bilinear::strassen_squared());
+  row(bilinear::strassen_bordered_3x3());
+  row(bilinear::rect_2x2x4());
+  table.print_console(std::cout);
+  return 0;
+}
+
+int cmd_certify(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: fmmio certify <algorithm>\n");
+    return 2;
+  }
+  const auto alg = pick(args.positional[1]);
+  std::printf("Certifying %s\n", alg.name().c_str());
+  std::printf("  Brent equations:        %s\n",
+              alg.is_valid() ? "PASS" : "FAIL");
+  if (alg.n() * alg.m() == 4) {
+    for (const auto side : {bilinear::Side::kA, bilinear::Side::kB}) {
+      const auto cert = bounds::certify_encoder(alg, side);
+      std::printf("  Lemmas 3.1-3.3 (%c):     %s%s%s\n",
+                  side == bilinear::Side::kA ? 'A' : 'B',
+                  cert.all_pass() ? "PASS" : "FAIL",
+                  cert.failure.empty() ? "" : " — ",
+                  cert.failure.c_str());
+    }
+    const auto hk = bounds::certify_hopcroft_kerr(alg);
+    std::printf("  Hopcroft-Kerr sets:     %s\n",
+                hk.pass ? "PASS" : "FAIL");
+  }
+  const std::size_t n = 8;
+  const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+  Rng rng(1);
+  const auto dom = bounds::certify_dominator_bound(
+      cdag, 2, 5, bounds::ZChoice::kUniformRandom, rng);
+  std::printf("  Lemma 3.7 (H^{8x8}):    %s (worst ratio %.2f)\n",
+              dom.all_hold ? "PASS" : "FAIL", dom.worst_ratio);
+  return 0;
+}
+
+int cmd_bounds(const Args& args) {
+  const double n = static_cast<double>(args.get_int("n", 4096));
+  const double m = static_cast<double>(args.get_int("m", 4096));
+  const double p = static_cast<double>(args.get_int("p", 1));
+  const bounds::MmParams params{n, m, p};
+  std::printf("Lower bounds at n=%g, M=%g, P=%g:\n", n, m, p);
+  std::printf("  classic  mem-dep:   %.4g\n",
+              bounds::classic_memory_dependent(params));
+  std::printf("  classic  mem-indep: %.4g\n",
+              bounds::classic_memory_independent(params));
+  std::printf("  fast2x2  mem-dep:   %.4g   (holds with recomputation)\n",
+              bounds::fast_memory_dependent(params, kOmega0));
+  std::printf("  fast2x2  mem-indep: %.4g   (holds with recomputation)\n",
+              bounds::fast_memory_independent(params, kOmega0));
+  std::printf("  fast2x2  parallel:  %.4g   (Theorem 1.1 max{})\n",
+              bounds::fast_parallel_bound(params, kOmega0));
+  if (p > 1) {
+    std::printf("  crossover P*:       %.4g\n",
+                bounds::parallel_crossover_p(n, m, kOmega0));
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: fmmio simulate <algorithm> --n N --m M\n");
+    return 2;
+  }
+  const auto alg = pick(args.positional[1]);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 16));
+  const std::int64_t m = args.get_int("m", 64);
+  const std::string schedule_kind = args.get("schedule", "dfs");
+  const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+
+  std::vector<graph::VertexId> schedule;
+  Rng rng(args.get_int("seed", 1) < 0
+              ? 1
+              : static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  if (schedule_kind == "bfs") {
+    schedule = pebble::bfs_schedule(cdag);
+  } else if (schedule_kind == "random") {
+    schedule = pebble::random_topological_schedule(cdag, rng);
+  } else {
+    schedule = pebble::dfs_schedule(cdag);
+  }
+
+  pebble::SimOptions options;
+  options.cache_size = m;
+  options.write_cost = args.get_int("write-cost", 1);
+  if (args.get("policy", "lru") == "opt") {
+    options.replacement = pebble::ReplacementPolicy::kBelady;
+  }
+
+  pebble::SimResult result;
+  if (args.has("remat")) {
+    options.writeback = pebble::WritebackPolicy::kDropRecomputable;
+    result = pebble::simulate_with_recomputation(cdag, schedule, options);
+  } else {
+    result = pebble::simulate(cdag, schedule, options);
+  }
+
+  const double bound = bounds::fast_memory_dependent(
+      {static_cast<double>(n), static_cast<double>(m), 1},
+      alg.num_products() == 8 ? 3.0 : kOmega0);
+  std::printf("%s on H^{%zux%zu}, M=%lld, schedule=%s%s\n",
+              alg.name().c_str(), n, n, static_cast<long long>(m),
+              schedule_kind.c_str(), args.has("remat") ? " + remat" : "");
+  std::printf("  loads=%lld stores=%lld total=%lld weighted=%lld "
+              "recomputes=%lld\n",
+              static_cast<long long>(result.loads),
+              static_cast<long long>(result.stores),
+              static_cast<long long>(result.total_io()),
+              static_cast<long long>(result.weighted_io),
+              static_cast<long long>(result.recomputations));
+  std::printf("  bound=%.4g  measured/bound=%.2fx\n", bound,
+              static_cast<double>(result.total_io()) / bound);
+  if (!args.has("remat")) {
+    std::printf("  zero-spill memory requirement of this schedule: %zu\n",
+                pebble::min_cache_for_zero_spill(cdag, schedule));
+  }
+  // Segment analysis when the configuration admits it.
+  try {
+    const auto analysis = bounds::analyze_segments(cdag, result.summary, m);
+    std::printf("  Lemma 3.6 segments: %zu, all >= M I/O: %s\n",
+                analysis.segments.size(),
+                analysis.all_segments_hold ? "yes" : "NO");
+  } catch (const CheckError&) {
+    // M not a usable segment size for this n — fine.
+  }
+  return 0;
+}
+
+int cmd_cdag(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: fmmio cdag <algorithm> --n N [--dot]\n");
+    return 2;
+  }
+  const auto alg = pick(args.positional[1]);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 4));
+  const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+  if (args.has("dot")) {
+    std::cout << cdag.to_dot();
+    return 0;
+  }
+  std::printf("H^{%zux%zu} of %s: %zu vertices, %zu edges\n", n, n,
+              alg.name().c_str(), cdag.graph.num_vertices(),
+              cdag.graph.num_edges());
+  for (const auto& [role, count] : cdag.role_histogram()) {
+    std::printf("  %-5s %zu\n", cdag::role_name(role), count);
+  }
+  for (const auto& [r, subs] : cdag.subproblem_outputs) {
+    std::printf("  SUB_H^{%zux%zu}: %zu sub-problems, %zu output "
+                "vertices\n",
+                r, r, subs.size(), cdag.sub_outputs_flat(r).size());
+  }
+  return 0;
+}
+
+int cmd_parallel(const Args& args) {
+  const std::int64_t n = args.get_int("n", 1024);
+  const std::int64_t p = args.get_int("p", 49);
+  const std::int64_t m = args.get_int("m", 0);
+  const auto model = parallel::simulate_caps(n, p, m);
+  std::printf("CAPS model: n=%lld P=%lld M=%s\n",
+              static_cast<long long>(n), static_cast<long long>(p),
+              m == 0 ? "unlimited" : std::to_string(m).c_str());
+  std::printf("  words/proc=%lld  bfs=%d dfs=%d  peak mem=%lld  "
+              "feasible=%s\n",
+              static_cast<long long>(model.words_per_proc),
+              model.bfs_steps, model.dfs_steps,
+              static_cast<long long>(model.peak_memory_words),
+              model.feasible ? "yes" : "no");
+  if (n <= 512) {
+    const auto exact = parallel::simulate_caps_elementwise(n, p);
+    std::printf("  element-level exact: max words/proc=%lld total=%lld\n",
+                static_cast<long long>(exact.max_words_per_proc()),
+                static_cast<long long>(exact.total_words()));
+  }
+  const double bound = bounds::fast_parallel_bound(
+      {static_cast<double>(n),
+       m == 0 ? static_cast<double>(model.peak_memory_words)
+              : static_cast<double>(m),
+       static_cast<double>(p)},
+      kOmega0);
+  std::printf("  Theorem 1.1 bound: %.4g\n", bound);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: fmmio <list|certify|bounds|simulate|cdag|parallel> "
+                 "[args]\n");
+    return 2;
+  }
+  const std::string& command = args.positional[0];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "certify") return cmd_certify(args);
+    if (command == "bounds") return cmd_bounds(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "cdag") return cmd_cdag(args);
+    if (command == "parallel") return cmd_parallel(args);
+  } catch (const fmm::CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}

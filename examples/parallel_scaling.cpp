@@ -1,0 +1,110 @@
+// Strong-scaling study on the paper's parallel model plus a real
+// shared-memory run.
+//
+//   parallel_scaling [n]
+//
+// Simulates CAPS-style parallel Strassen across P = 7^k processors under
+// several memory budgets (showing the BFS/DFS trade and the Theorem 1.1
+// max{} bound), contrasts classical 2D/3D, then actually executes a
+// thread-parallel Strassen and reports wall-clock speedup.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "bilinear/catalog.hpp"
+#include "bilinear/executor.hpp"
+#include "bounds/formulas.hpp"
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+#include "common/timing.hpp"
+#include "linalg/matmul.hpp"
+#include "parallel/caps.hpp"
+#include "parallel/classical_comm.hpp"
+#include "parallel/parallel_strassen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fmm;
+
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 2048;
+
+  std::printf("=== CAPS-model strong scaling at n=%lld ===\n\n",
+              static_cast<long long>(n));
+  Table table({"P", "Memory/proc", "Words/proc", "BFS", "DFS",
+               "Thm 1.1 bound", "Ratio"});
+  for (const std::int64_t p : {1, 7, 49, 343}) {
+    for (const double mem_factor : {3.5, 10.0, 0.0}) {  // 0 = unlimited
+      const std::int64_t m =
+          mem_factor == 0.0
+              ? 0
+              : static_cast<std::int64_t>(mem_factor *
+                                          static_cast<double>(n * n) /
+                                          static_cast<double>(p));
+      const auto caps = parallel::simulate_caps(n, p, m);
+      const double effective_m =
+          m == 0 ? static_cast<double>(caps.peak_memory_words)
+                 : static_cast<double>(m);
+      const double bound = bounds::fast_parallel_bound(
+          {static_cast<double>(n), effective_m, static_cast<double>(p)},
+          kOmega0);
+      table.begin_row();
+      table.add_cell(p);
+      table.add_cell(m == 0 ? std::string("unlimited") : std::to_string(m));
+      table.add_cell(caps.words_per_proc);
+      table.add_cell(caps.bfs_steps);
+      table.add_cell(caps.dfs_steps);
+      table.add_cell(bound);
+      table.add_cell(p == 1 ? std::string("-")
+                            : format_ratio(static_cast<double>(
+                                               caps.words_per_proc) /
+                                           bound));
+    }
+  }
+  table.print_console(std::cout);
+
+  std::printf("\n=== Classical algorithms for contrast ===\n\n");
+  Table classic({"Algorithm", "P", "Words/proc"});
+  for (const std::int64_t p : {16, 64, 256}) {
+    classic.begin_row();
+    classic.add_cell("Cannon 2D");
+    classic.add_cell(p);
+    classic.add_cell(parallel::cannon_2d(n, p).words_per_proc);
+  }
+  for (const std::int64_t p : {8, 64, 512}) {
+    classic.begin_row();
+    classic.add_cell("3D");
+    classic.add_cell(p);
+    classic.add_cell(parallel::classical_3d(n, p).words_per_proc);
+  }
+  classic.print_console(std::cout);
+
+  std::printf("\n=== Real shared-memory execution (std::thread) ===\n\n");
+  const std::size_t exec_n = 1024;
+  linalg::Mat a(exec_n, exec_n), b(exec_n, exec_n);
+  linalg::fill_random(a, 1);
+  linalg::fill_random(b, 2);
+
+  Stopwatch serial_clock;
+  bilinear::RecursiveExecutor serial(bilinear::strassen(), 64);
+  const linalg::Mat c_serial = serial.multiply(a, b);
+  const double serial_s = serial_clock.seconds();
+
+  Table exec({"Threads", "Tasks", "Seconds", "Speedup", "Max err vs serial"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    parallel::ParallelRunStats stats;
+    const linalg::Mat c = parallel::multiply_parallel(
+        bilinear::strassen(), a, b, 2, threads, &stats, /*leaf_cutoff=*/64);
+    exec.begin_row();
+    exec.add_cell(static_cast<std::uint64_t>(threads));
+    exec.add_cell(stats.tasks);
+    exec.add_cell(stats.seconds);
+    exec.add_cell(format_ratio(serial_s / stats.seconds));
+    exec.add_cell(linalg::max_abs_diff(c, c_serial));
+  }
+  exec.print_console(std::cout);
+  std::printf("\n(serial Strassen baseline: %.3fs at n=%zu; speedup is "
+              "bounded by the machine's core count — "
+              "hardware_concurrency() = %u here)\n",
+              serial_s, exec_n, std::thread::hardware_concurrency());
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "altbasis/alt_basis.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fmm::altbasis {
+
+using bilinear::BilinearAlgorithm;
+using bilinear::IntMat;
+
+namespace {
+
+bool row_is_negative_singleton(const IntMat& m, std::size_t row) {
+  int nonzeros = 0;
+  int last = 0;
+  for (std::size_t c = 0; c < m.cols; ++c) {
+    if (m.at(row, c) != 0) {
+      ++nonzeros;
+      last = m.at(row, c);
+    }
+  }
+  return nonzeros == 1 && last < 0;
+}
+
+void flip_row(IntMat& m, std::size_t row) {
+  for (std::size_t c = 0; c < m.cols; ++c) {
+    m.at(row, c) = -m.at(row, c);
+  }
+}
+
+void flip_col(IntMat& m, std::size_t col) {
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    m.at(r, col) = -m.at(r, col);
+  }
+}
+
+/// Returns +1 / -1 if row `r` of `a` equals ± row `r` of `b`, else 0.
+int row_sign(const IntMat& a, const IntMat& b, std::size_t r) {
+  bool plus = true;
+  bool minus = true;
+  for (std::size_t c = 0; c < a.cols; ++c) {
+    if (a.at(r, c) != b.at(r, c)) plus = false;
+    if (a.at(r, c) != -b.at(r, c)) minus = false;
+  }
+  if (plus) return 1;
+  if (minus) return -1;
+  return 0;
+}
+
+}  // namespace
+
+bool AlternativeBasis::is_twisted_valid(
+    const BilinearAlgorithm& original) const {
+  // Per-product sign freedom: M_r may be computed as (±u_r A)(±v_r B)
+  // with the sign product absorbed by the decoder column.  So we require
+  //   U'_r = s^u_r (U G)_r,  V'_r = s^v_r (V H)_r,
+  //   W'_{:,r} = s^u_r s^v_r (E W)_{:,r}.
+  const IntMat du = IntMat::multiply(original.u(), g);
+  const IntMat dv = IntMat::multiply(original.v(), h);
+  const IntMat dw = IntMat::multiply(e, original.w());
+  const std::size_t t = transformed.num_products();
+  for (std::size_t r = 0; r < t; ++r) {
+    const int su = row_sign(transformed.u(), du, r);
+    const int sv = row_sign(transformed.v(), dv, r);
+    if (su == 0 || sv == 0) {
+      return false;
+    }
+    for (std::size_t i = 0; i < dw.rows; ++i) {
+      if (transformed.w().at(i, r) != su * sv * dw.at(i, r)) {
+        return false;
+      }
+    }
+  }
+  return g.determinant() != 0 && h.determinant() != 0 &&
+         e.determinant() != 0 && original.is_valid();
+}
+
+AlternativeBasis make_alternative_basis(const BilinearAlgorithm& algorithm) {
+  FMM_CHECK_MSG(algorithm.is_square(),
+                "alternative basis requires a square base case");
+  const BasisSearchResult enc_a = optimize_encoder_basis(algorithm.u());
+  const BasisSearchResult enc_b = optimize_encoder_basis(algorithm.v());
+  BasisSearchResult dec = optimize_decoder_basis(algorithm.w());
+
+  IntMat u_prime = IntMat::multiply(algorithm.u(), enc_a.transform);
+  IntMat v_prime = IntMat::multiply(algorithm.v(), enc_b.transform);
+
+  // Decoder rows that are negated singletons cost a spurious negation;
+  // flipping the corresponding row of E removes it for free.
+  {
+    IntMat w_prime = IntMat::multiply(dec.transform, algorithm.w());
+    for (std::size_t i = 0; i < w_prime.rows; ++i) {
+      if (row_is_negative_singleton(w_prime, i)) {
+        flip_row(dec.transform, i);
+      }
+    }
+  }
+  IntMat w_prime = IntMat::multiply(dec.transform, algorithm.w());
+
+  // Encoder rows that are negated singletons: flip the row (the product
+  // becomes -M_r) and compensate in the decoder column.  A double flip
+  // (both operands) cancels in W'.
+  const std::size_t t = u_prime.rows;
+  for (std::size_t r = 0; r < t; ++r) {
+    int sign = 1;
+    if (row_is_negative_singleton(u_prime, r)) {
+      flip_row(u_prime, r);
+      sign = -sign;
+    }
+    if (row_is_negative_singleton(v_prime, r)) {
+      flip_row(v_prime, r);
+      sign = -sign;
+    }
+    if (sign < 0) {
+      flip_col(w_prime, r);
+    }
+  }
+
+  AlternativeBasis result{
+      BilinearAlgorithm(algorithm.name() + "-altbasis", algorithm.n(),
+                        algorithm.m(), algorithm.p(), std::move(u_prime),
+                        std::move(v_prime), std::move(w_prime)),
+      /*g=*/enc_a.transform,
+      /*h=*/enc_b.transform,
+      /*e=*/dec.transform,
+      /*base_linear_ops=*/0};
+  result.base_linear_ops = result.transformed.base_linear_ops();
+  FMM_CHECK_MSG(result.is_twisted_valid(algorithm),
+                "alternative-basis construction is inconsistent");
+  return result;
+}
+
+AltBasisExecutor::AltBasisExecutor(const BilinearAlgorithm& algorithm,
+                                   std::size_t cutoff)
+    : basis_(make_alternative_basis(algorithm)),
+      executor_(basis_.transformed, cutoff), base_(algorithm.n()) {}
+
+linalg::Mat AltBasisExecutor::multiply(const linalg::Mat& a,
+                                       const linalg::Mat& b) {
+  // φ = G^{-1}, ψ = H^{-1}: applied via the exact adjugate machinery.
+  const linalg::Mat a_tilde = apply_inverse_basis_recursive(
+      basis_.g, base_, a, &count_.transform_adds);
+  const linalg::Mat b_tilde = apply_inverse_basis_recursive(
+      basis_.h, base_, b, &count_.transform_adds);
+
+  executor_.reset_count();
+  const linalg::Mat c_tilde = executor_.multiply(a_tilde, b_tilde);
+  count_.bilinear_mults += executor_.op_count().multiplications;
+  count_.bilinear_adds += executor_.op_count().additions;
+
+  // ν = E, so the final step is ν^{-1} = E^{-1}.
+  return apply_inverse_basis_recursive(basis_.e, base_, c_tilde,
+                                       &count_.transform_adds);
+}
+
+}  // namespace fmm::altbasis

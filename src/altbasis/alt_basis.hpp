@@ -1,0 +1,91 @@
+// Alternative-basis matrix multiplication (paper Section IV; Definition
+// 2.7; Algorithm 1), after Karstadt–Schwartz (SPAA'17).
+//
+//   ABMM(A, B):   Ã = φ(A);  B̃ = ψ(B);  C̃ = ALG(Ã, B̃);  C = ν^{-1}(C̃)
+//
+// where ALG is a recursive-bilinear <b,b,b;t>_{φ,ψ,ν} algorithm whose
+// encoders/decoder are SPARSER in the alternative bases.  For Winograd
+// the optimizer finds bases giving 12 base linear ops (3+3+6), hence
+// leading coefficient 5 instead of 6; the transforms cost O(n^2 log n).
+//
+// We parameterize by the invertible integer matrices G, H, E found by
+// the sparsest-basis search:  U' = U·G, V' = V·H, W' = E·W, so that
+// φ = G^{-1}, ψ = H^{-1}, ν = E.  Inverses are applied exactly through
+// the adjugate (no integrality requirement on G^{-1}).
+//
+// Theorem 4.1 of the paper: the I/O lower bounds of Theorem 1.1 apply to
+// these algorithms too, with or without recomputation.
+#pragma once
+
+#include <cstdint>
+
+#include "altbasis/basis_search.hpp"
+#include "altbasis/transform.hpp"
+#include "bilinear/algorithm.hpp"
+#include "bilinear/executor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace fmm::altbasis {
+
+/// A bilinear algorithm re-expressed in sparsifying bases.
+struct AlternativeBasis {
+  /// The transformed algorithm (U' = U·G, V' = V·H, W' = E·W).  NOT
+  /// Brent-valid for plain matmul — it is valid for the twisted product
+  /// φ(A), ψ(B) -> ν(C) (is_twisted_valid certifies this).
+  bilinear::BilinearAlgorithm transformed;
+  bilinear::IntMat g;  // φ^{-1}
+  bilinear::IntMat h;  // ψ^{-1}
+  bilinear::IntMat e;  // ν
+  /// Base linear operations of the transformed algorithm (the quantity
+  /// that sets the leading coefficient 1 + L/3 for 2x2 bases).
+  std::size_t base_linear_ops = 0;
+
+  /// Exact certification against the original algorithm: U·G == U',
+  /// V·H == V', E·W == W', G/H/E invertible, and (U, V, W) Brent-valid.
+  bool is_twisted_valid(const bilinear::BilinearAlgorithm& original) const;
+};
+
+/// Runs the sparsest-basis search on all three coefficient matrices of a
+/// square-base algorithm.
+AlternativeBasis make_alternative_basis(
+    const bilinear::BilinearAlgorithm& algorithm);
+
+/// Operation counts of one ABMM execution, split by phase.
+struct AbmmOpCount {
+  std::int64_t transform_adds = 0;   // φ, ψ, ν^{-1} recursive transforms
+  std::int64_t bilinear_mults = 0;
+  std::int64_t bilinear_adds = 0;
+
+  std::int64_t total() const {
+    return transform_adds + bilinear_mults + bilinear_adds;
+  }
+};
+
+/// Executor implementing Algorithm 1 on dense matrices.
+class AltBasisExecutor {
+ public:
+  /// `cutoff` as in bilinear::RecursiveExecutor.
+  AltBasisExecutor(const bilinear::BilinearAlgorithm& algorithm,
+                   std::size_t cutoff = 1);
+
+  // The internal executor references basis_.transformed; copying would
+  // leave it dangling.
+  AltBasisExecutor(const AltBasisExecutor&) = delete;
+  AltBasisExecutor& operator=(const AltBasisExecutor&) = delete;
+
+  /// C = A * B for square power-of-base sizes.
+  linalg::Mat multiply(const linalg::Mat& a, const linalg::Mat& b);
+
+  const AbmmOpCount& op_count() const { return count_; }
+  void reset_count() { count_ = AbmmOpCount{}; }
+
+  const AlternativeBasis& basis() const { return basis_; }
+
+ private:
+  AlternativeBasis basis_;
+  bilinear::RecursiveExecutor executor_;
+  std::size_t base_;
+  AbmmOpCount count_;
+};
+
+}  // namespace fmm::altbasis

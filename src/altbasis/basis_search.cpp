@@ -1,0 +1,177 @@
+#include "altbasis/basis_search.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::altbasis {
+
+using bilinear::IntMat;
+
+std::size_t integer_rank(const std::vector<std::vector<int>>& rows) {
+  if (rows.empty()) {
+    return 0;
+  }
+  const std::size_t cols = rows.front().size();
+  // Fraction-free Gaussian elimination on an int64 copy.
+  std::vector<std::vector<std::int64_t>> m;
+  m.reserve(rows.size());
+  for (const auto& row : rows) {
+    FMM_CHECK(row.size() == cols);
+    m.emplace_back(row.begin(), row.end());
+  }
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < m.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < m.size() && m[pivot][col] == 0) {
+      ++pivot;
+    }
+    if (pivot == m.size()) {
+      continue;
+    }
+    std::swap(m[rank], m[pivot]);
+    for (std::size_t i = rank + 1; i < m.size(); ++i) {
+      if (m[i][col] == 0) {
+        continue;
+      }
+      const std::int64_t a = m[rank][col];
+      const std::int64_t b = m[i][col];
+      for (std::size_t j = col; j < cols; ++j) {
+        m[i][j] = m[i][j] * a - m[rank][j] * b;
+      }
+      // Keep entries small: divide the row by its gcd.
+      std::int64_t g = 0;
+      for (std::size_t j = col; j < cols; ++j) {
+        g = gcd_i64(g, m[i][j]);
+      }
+      if (g > 1) {
+        for (std::size_t j = col; j < cols; ++j) {
+          m[i][j] /= g;
+        }
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+namespace {
+
+/// Enumerates all nonzero vectors in {-1,0,1}^dim.
+std::vector<std::vector<int>> candidate_vectors(std::size_t dim) {
+  FMM_CHECK_MSG(dim <= 12, "candidate enumeration limited to 12 dims");
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < dim; ++i) {
+    total *= 3;
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(total - 1);
+  for (std::size_t code = 1; code < total; ++code) {
+    std::vector<int> v(dim);
+    std::size_t c = code;
+    for (std::size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<int>(c % 3) - 1;  // {-1, 0, 1}
+      c /= 3;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// nnz of U * g (g as a column).
+std::size_t column_cost(const IntMat& u, const std::vector<int>& g) {
+  std::size_t cost = 0;
+  for (std::size_t r = 0; r < u.rows; ++r) {
+    std::int64_t sum = 0;
+    for (std::size_t c = 0; c < u.cols; ++c) {
+      sum += static_cast<std::int64_t>(u.at(r, c)) * g[c];
+    }
+    if (sum != 0) {
+      ++cost;
+    }
+  }
+  return cost;
+}
+
+/// nnz of e^T * W (e as a row).
+std::size_t row_cost(const IntMat& w, const std::vector<int>& e) {
+  std::size_t cost = 0;
+  for (std::size_t c = 0; c < w.cols; ++c) {
+    std::int64_t sum = 0;
+    for (std::size_t r = 0; r < w.rows; ++r) {
+      sum += static_cast<std::int64_t>(e[r]) * w.at(r, c);
+    }
+    if (sum != 0) {
+      ++cost;
+    }
+  }
+  return cost;
+}
+
+/// Matroid greedy: picks `dim` linearly independent vectors of minimum
+/// total cost from the candidates.
+std::vector<std::vector<int>> greedy_basis(
+    std::vector<std::pair<std::size_t, std::vector<int>>> weighted,
+    std::size_t dim) {
+  std::stable_sort(weighted.begin(), weighted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::vector<int>> chosen;
+  for (const auto& [cost, vec] : weighted) {
+    if (chosen.size() == dim) {
+      break;
+    }
+    std::vector<std::vector<int>> trial = chosen;
+    trial.push_back(vec);
+    if (integer_rank(trial) == trial.size()) {
+      chosen.push_back(vec);
+    }
+  }
+  FMM_CHECK_MSG(chosen.size() == dim, "candidates do not span the space");
+  return chosen;
+}
+
+}  // namespace
+
+BasisSearchResult optimize_encoder_basis(const IntMat& u) {
+  const std::size_t dim = u.cols;
+  std::vector<std::pair<std::size_t, std::vector<int>>> weighted;
+  for (auto& g : candidate_vectors(dim)) {
+    weighted.emplace_back(column_cost(u, g), std::move(g));
+  }
+  const auto basis = greedy_basis(std::move(weighted), dim);
+
+  BasisSearchResult result;
+  result.transform = IntMat(dim, dim);
+  for (std::size_t j = 0; j < dim; ++j) {  // basis[j] is column j of G
+    for (std::size_t i = 0; i < dim; ++i) {
+      result.transform.at(i, j) = basis[j][i];
+    }
+  }
+  result.transformed_nnz = IntMat::multiply(u, result.transform).nnz();
+  return result;
+}
+
+BasisSearchResult optimize_decoder_basis(const IntMat& w) {
+  const std::size_t dim = w.rows;
+  std::vector<std::pair<std::size_t, std::vector<int>>> weighted;
+  for (auto& e : candidate_vectors(dim)) {
+    weighted.emplace_back(row_cost(w, e), std::move(e));
+  }
+  const auto basis = greedy_basis(std::move(weighted), dim);
+
+  BasisSearchResult result;
+  result.transform = IntMat(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {  // basis[i] is row i of E
+    for (std::size_t j = 0; j < dim; ++j) {
+      result.transform.at(i, j) = basis[i][j];
+    }
+  }
+  result.transformed_nnz =
+      IntMat::multiply(result.transform, w).nnz();
+  return result;
+}
+
+}  // namespace fmm::altbasis

@@ -1,0 +1,44 @@
+// Sparsest-basis search for alternative-basis matrix multiplication
+// (Karstadt–Schwartz, Definition 2.7).
+//
+// Given an encoder matrix U (t x b^2), we seek an invertible G minimizing
+// nnz(U * G); the basis transform is then φ = G^{-1} and the transformed
+// encoder U' = U G performs nnz(U') - t additions.  Column j of U*G is
+// U * g_j, so each candidate column contributes independently and the
+// problem is exactly a minimum-weight basis of a vector matroid over the
+// candidate set {-1,0,1}^{b^2} with weight nnz(U * g) — solved optimally
+// by the matroid greedy algorithm.  Symmetrically for the decoder W we
+// pick rows e minimizing nnz(e^T W) to form ν.
+//
+// For Winograd's <2,2,2;7> this provably recovers the Karstadt–Schwartz
+// count: 3 + 3 + 6 = 12 base linear operations, i.e. leading coefficient
+// 1 + 12/3 = 5 (tests assert it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bilinear/linear_circuit.hpp"
+
+namespace fmm::altbasis {
+
+/// Result of one side's search.
+struct BasisSearchResult {
+  /// The chosen invertible matrix: G (columns) for encoders, E (rows) for
+  /// decoders.
+  bilinear::IntMat transform;
+  /// nnz of the transformed coefficient matrix (U*G or E*W).
+  std::size_t transformed_nnz = 0;
+};
+
+/// Minimizes nnz(U * G) over invertible G with entries in {-1, 0, 1}.
+/// Optimal by matroid greedy over the 3^{cols}-1 candidate columns.
+BasisSearchResult optimize_encoder_basis(const bilinear::IntMat& u);
+
+/// Minimizes nnz(E * W) over invertible E with entries in {-1, 0, 1}.
+BasisSearchResult optimize_decoder_basis(const bilinear::IntMat& w);
+
+/// Rank over the rationals of a set of integer vectors (row vectors).
+std::size_t integer_rank(const std::vector<std::vector<int>>& rows);
+
+}  // namespace fmm::altbasis

@@ -1,0 +1,163 @@
+#include "altbasis/transform.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::altbasis {
+
+using bilinear::IntMat;
+using linalg::Mat;
+
+namespace {
+
+void check_shape(const IntMat& t, std::size_t base, const Mat& x) {
+  FMM_CHECK(base >= 2);
+  FMM_CHECK_MSG(t.rows == base * base && t.cols == base * base,
+                "transform must be b^2 x b^2");
+  FMM_CHECK(x.rows() == x.cols());
+  std::size_t d = x.rows();
+  while (d > 1) {
+    FMM_CHECK_MSG(d % base == 0, "matrix size must be a power of the base");
+    d /= base;
+  }
+}
+
+/// One recursion step: combine quadrants per T, then recurse.
+Mat apply_recursive(const IntMat& t, std::size_t base, const Mat& x,
+                    std::int64_t* adds) {
+  const std::size_t d = x.rows();
+  if (d == 1) {
+    // 1 x 1: quadrants degenerate; T acts on a single scalar only when
+    // b^2 == 1, which base >= 2 excludes — so the recursion bottoms out
+    // one level up.  Returning x keeps the function total.
+    return x;
+  }
+  const std::size_t sub = d / base;
+
+  // Gather quadrant blocks (row-major block order, matching bilinear's
+  // coefficient-matrix convention).
+  std::vector<Mat> blocks;
+  blocks.reserve(base * base);
+  for (std::size_t bi = 0; bi < base; ++bi) {
+    for (std::size_t bj = 0; bj < base; ++bj) {
+      blocks.push_back(x.block(bi * sub, bj * sub, sub, sub).to_matrix());
+    }
+  }
+
+  // New quadrants = T combinations of old quadrants.
+  Mat out(d, d);
+  for (std::size_t q = 0; q < base * base; ++q) {
+    Mat combo(sub, sub, 0.0);
+    std::size_t terms = 0;
+    for (std::size_t q2 = 0; q2 < base * base; ++q2) {
+      const int coef = t.at(q, q2);
+      if (coef == 0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < sub; ++i) {
+        for (std::size_t j = 0; j < sub; ++j) {
+          combo(i, j) += coef * blocks[q2](i, j);
+        }
+      }
+      ++terms;
+    }
+    if (adds != nullptr && terms > 1) {
+      *adds += static_cast<std::int64_t>((terms - 1) * sub * sub);
+    }
+    const Mat transformed = apply_recursive(t, base, combo, adds);
+    const std::size_t bi = q / base;
+    const std::size_t bj = q % base;
+    out.block(bi * sub, bj * sub, sub, sub).assign(transformed.view());
+  }
+  return out;
+}
+
+}  // namespace
+
+Mat apply_basis_recursive(const IntMat& t, std::size_t base, const Mat& x,
+                          std::int64_t* adds) {
+  check_shape(t, base, x);
+  return apply_recursive(t, base, x, adds);
+}
+
+Mat apply_inverse_basis_recursive(const IntMat& t, std::size_t base,
+                                  const Mat& x, std::int64_t* adds) {
+  check_shape(t, base, x);
+  const std::int64_t det = t.determinant();
+  FMM_CHECK_MSG(det != 0, "basis transform is singular");
+
+  // Adjugate = det * inverse, integral by construction.
+  IntMat adjugate(t.rows, t.cols);
+  {
+    // adj = det * t^{-1}; build via cofactors using IntMat helpers.
+    // inverse_integer requires integrality, so compute cofactors here.
+    const std::size_t dim = t.rows;
+    auto minor_det = [&](std::size_t skip_row, std::size_t skip_col) {
+      IntMat sub(dim - 1, dim - 1);
+      std::size_t si = 0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        if (i == skip_row) continue;
+        std::size_t sj = 0;
+        for (std::size_t j = 0; j < dim; ++j) {
+          if (j == skip_col) continue;
+          sub.at(si, sj) = t.at(i, j);
+          ++sj;
+        }
+        ++si;
+      }
+      return sub.determinant();
+    };
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        std::int64_t cof = minor_det(j, i);
+        if ((i + j) % 2 == 1) {
+          cof = -cof;
+        }
+        FMM_CHECK(cof >= INT32_MIN && cof <= INT32_MAX);
+        adjugate.at(i, j) = static_cast<int>(cof);
+      }
+    }
+  }
+
+  Mat result = apply_recursive(adjugate, base, x, adds);
+  // Rescale by det^{-levels}.
+  int levels = 0;
+  for (std::size_t d = x.rows(); d > 1; d /= base) {
+    ++levels;
+  }
+  const double scale =
+      1.0 / std::pow(static_cast<double>(det), static_cast<double>(levels));
+  for (std::size_t i = 0; i < result.rows(); ++i) {
+    for (std::size_t j = 0; j < result.cols(); ++j) {
+      result(i, j) *= scale;
+    }
+  }
+  return result;
+}
+
+std::int64_t recursive_transform_adds(const IntMat& t, std::size_t base,
+                                      std::size_t n) {
+  FMM_CHECK(base >= 2 && n >= 1);
+  int levels = 0;
+  for (std::size_t d = n; d > 1; d /= base) {
+    FMM_CHECK(d % base == 0);
+    ++levels;
+  }
+  // Per level: one (terms-1)-add combination per quadrant element; summed
+  // over rows of T this is (nnz(T) - #nonzero-rows... ) — with every row
+  // nonzero it is (nnz(T) - b^2) adds per (n/b)^2 elements.
+  std::int64_t per_level = 0;
+  for (std::size_t q = 0; q < t.rows; ++q) {
+    const std::size_t row_terms = t.row_nnz(q);
+    if (row_terms > 1) {
+      per_level += static_cast<std::int64_t>(row_terms - 1);
+    }
+  }
+  const auto nb = static_cast<std::int64_t>(n / base);
+  return per_level * nb * nb * levels;
+}
+
+}  // namespace fmm::altbasis

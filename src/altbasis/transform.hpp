@@ -1,0 +1,39 @@
+// Fast recursive basis transforms (Algorithm 1's φ, ψ, ν^{-1} steps).
+//
+// A base transform T (b^2 x b^2) acts on an n x n matrix by combining its
+// b x b grid of quadrant blocks, then recursing into each transformed
+// quadrant — i.e. it computes T^{⊗ log_b n} in the Kronecker sense.
+// Cost: (nnz(T) - b^2) / b^2 * n^2 * log_b(n) additions, the o(n^ω) term
+// of Karstadt–Schwartz.
+//
+// The inverse transform applies the integer adjugate recursively and
+// rescales by det(T)^{-levels}, so non-unimodular transforms are
+// supported exactly (up to floating-point rounding of the final scale).
+#pragma once
+
+#include <cstdint>
+
+#include "bilinear/linear_circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace fmm::altbasis {
+
+/// Applies the recursive basis transform T^{⊗ log_b n} to `x` in place
+/// semantics (returns a new matrix).  `base` = b; x must be square with
+/// size a power of b.  `adds` (optional) accumulates scalar additions.
+linalg::Mat apply_basis_recursive(const bilinear::IntMat& t, std::size_t base,
+                                  const linalg::Mat& x,
+                                  std::int64_t* adds = nullptr);
+
+/// Applies the recursive INVERSE transform of T.
+linalg::Mat apply_inverse_basis_recursive(const bilinear::IntMat& t,
+                                          std::size_t base,
+                                          const linalg::Mat& x,
+                                          std::int64_t* adds = nullptr);
+
+/// Closed-form addition count of apply_basis_recursive on an n x n input:
+/// (nnz(T) - b^2)/b^2 * n^2 * log_b(n).
+std::int64_t recursive_transform_adds(const bilinear::IntMat& t,
+                                      std::size_t base, std::size_t n);
+
+}  // namespace fmm::altbasis

@@ -1,0 +1,330 @@
+#include "bilinear/catalog.hpp"
+
+#include "common/check.hpp"
+
+namespace fmm::bilinear {
+
+namespace {
+
+IntMat from_rows(std::size_t cols,
+                 const std::vector<std::vector<int>>& rows) {
+  IntMat m(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    FMM_CHECK(rows[i].size() == cols);
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = rows[i][j];
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+BilinearAlgorithm classic(std::size_t n, std::size_t m, std::size_t p) {
+  FMM_CHECK(n >= 1 && m >= 1 && p >= 1);
+  const std::size_t t = n * m * p;
+  IntMat u(t, n * m);
+  IntMat v(t, m * p);
+  IntMat w(n * p, t);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < m; ++k) {
+      for (std::size_t j = 0; j < p; ++j) {
+        u.at(r, i * m + k) = 1;
+        v.at(r, k * p + j) = 1;
+        w.at(i * p + j, r) = 1;
+        ++r;
+      }
+    }
+  }
+  return BilinearAlgorithm("classic-" + std::to_string(n) + "x" +
+                               std::to_string(m) + "x" + std::to_string(p),
+                           n, m, p, std::move(u), std::move(v), std::move(w));
+}
+
+BilinearAlgorithm strassen() {
+  // Index order: A11, A12, A21, A22 (row-major); same for B and C.
+  IntMat u = from_rows(4, {{1, 0, 0, 1},     // M1: A11 + A22
+                           {0, 0, 1, 1},     // M2: A21 + A22
+                           {1, 0, 0, 0},     // M3: A11
+                           {0, 0, 0, 1},     // M4: A22
+                           {1, 1, 0, 0},     // M5: A11 + A12
+                           {-1, 0, 1, 0},    // M6: A21 - A11
+                           {0, 1, 0, -1}});  // M7: A12 - A22
+  IntMat v = from_rows(4, {{1, 0, 0, 1},     // M1: B11 + B22
+                           {1, 0, 0, 0},     // M2: B11
+                           {0, 1, 0, -1},    // M3: B12 - B22
+                           {-1, 0, 1, 0},    // M4: B21 - B11
+                           {0, 0, 0, 1},     // M5: B22
+                           {1, 1, 0, 0},     // M6: B11 + B12
+                           {0, 0, 1, 1}});   // M7: B21 + B22
+  IntMat w = from_rows(7, {{1, 0, 0, 1, -1, 0, 1},    // C11
+                           {0, 0, 1, 0, 1, 0, 0},     // C12
+                           {0, 1, 0, 1, 0, 0, 0},     // C21
+                           {1, -1, 1, 0, 0, 1, 0}});  // C22
+  return BilinearAlgorithm("strassen", 2, 2, 2, std::move(u), std::move(v),
+                           std::move(w));
+}
+
+BilinearAlgorithm winograd() {
+  IntMat u = from_rows(4, {{1, 0, 0, 0},      // M1: A11
+                           {0, 1, 0, 0},      // M2: A12
+                           {1, 1, -1, -1},    // M3: S4 = A11+A12-A21-A22
+                           {0, 0, 0, 1},      // M4: A22
+                           {0, 0, 1, 1},      // M5: S1 = A21+A22
+                           {-1, 0, 1, 1},     // M6: S2 = S1-A11
+                           {1, 0, -1, 0}});   // M7: S3 = A11-A21
+  IntMat v = from_rows(4, {{1, 0, 0, 0},      // M1: B11
+                           {0, 0, 1, 0},      // M2: B21
+                           {0, 0, 0, 1},      // M3: B22
+                           {1, -1, -1, 1},    // M4: T4 = T2-B21
+                           {-1, 1, 0, 0},     // M5: T1 = B12-B11
+                           {1, -1, 0, 1},     // M6: T2 = B22-T1
+                           {0, -1, 0, 1}});   // M7: T3 = B22-B12
+  IntMat w = from_rows(7, {{1, 1, 0, 0, 0, 0, 0},     // C11 = M1+M2
+                           {1, 0, 1, 0, 1, 1, 0},     // C12 = U4+M3
+                           {1, 0, 0, -1, 0, 1, 1},    // C21 = U3-M4
+                           {1, 0, 0, 0, 1, 1, 1}});   // C22 = U3+M5
+  BilinearAlgorithm alg("winograd", 2, 2, 2, std::move(u), std::move(v),
+                        std::move(w));
+
+  // Shared straight-line circuits: 4 + 4 + 7 = 15 additions, the classical
+  // Winograd count (leading coefficient 6).
+  // Encoder A: inputs x0..x3 = A11,A12,A21,A22.
+  LinearCircuit enc_a(4,
+                      {
+                          LinOp{2, 1, 3, 1},   // v4 = S1 = A21+A22
+                          LinOp{4, 1, 0, -1},  // v5 = S2 = S1-A11
+                          LinOp{0, 1, 2, -1},  // v6 = S3 = A11-A21
+                          LinOp{1, 1, 5, -1},  // v7 = S4 = A12-S2
+                      },
+                      {0, 1, 7, 3, 4, 5, 6});
+  // Encoder B: inputs x0..x3 = B11,B12,B21,B22.
+  LinearCircuit enc_b(4,
+                      {
+                          LinOp{1, 1, 0, -1},  // v4 = T1 = B12-B11
+                          LinOp{3, 1, 4, -1},  // v5 = T2 = B22-T1
+                          LinOp{3, 1, 1, -1},  // v6 = T3 = B22-B12
+                          LinOp{5, 1, 2, -1},  // v7 = T4 = T2-B21
+                      },
+                      {0, 2, 3, 7, 4, 5, 6});
+  // Decoder: inputs x0..x6 = M1..M7.
+  LinearCircuit dec(7,
+                    {
+                        LinOp{0, 1, 5, 1},   // v7  = U2 = M1+M6
+                        LinOp{7, 1, 6, 1},   // v8  = U3 = U2+M7
+                        LinOp{7, 1, 4, 1},   // v9  = U4 = U2+M5
+                        LinOp{0, 1, 1, 1},   // v10 = C11 = M1+M2
+                        LinOp{9, 1, 2, 1},   // v11 = C12 = U4+M3
+                        LinOp{8, 1, 3, -1},  // v12 = C21 = U3-M4
+                        LinOp{8, 1, 4, 1},   // v13 = C22 = U3+M5
+                    },
+                    {10, 11, 12, 13});
+  alg.set_circuits(std::move(enc_a), std::move(enc_b), std::move(dec));
+  return alg;
+}
+
+BilinearAlgorithm strassen_transposed() {
+  BilinearAlgorithm alg = strassen().transpose_dual();
+  return alg;
+}
+
+BilinearAlgorithm winograd_transposed() {
+  return winograd().transpose_dual();
+}
+
+BilinearAlgorithm permute_base(const BilinearAlgorithm& alg,
+                               const std::vector<std::size_t>& perm_n,
+                               const std::vector<std::size_t>& perm_m,
+                               const std::vector<std::size_t>& perm_p) {
+  FMM_CHECK(perm_n.size() == alg.n() && perm_m.size() == alg.m() &&
+            perm_p.size() == alg.p());
+  const std::size_t t = alg.num_products();
+  IntMat u2(t, alg.n() * alg.m());
+  IntMat v2(t, alg.m() * alg.p());
+  IntMat w2(alg.n() * alg.p(), t);
+  for (std::size_t r = 0; r < t; ++r) {
+    for (std::size_t i = 0; i < alg.n(); ++i) {
+      for (std::size_t k = 0; k < alg.m(); ++k) {
+        u2.at(r, i * alg.m() + k) =
+            alg.u().at(r, perm_n[i] * alg.m() + perm_m[k]);
+      }
+    }
+    for (std::size_t k = 0; k < alg.m(); ++k) {
+      for (std::size_t j = 0; j < alg.p(); ++j) {
+        v2.at(r, k * alg.p() + j) =
+            alg.v().at(r, perm_m[k] * alg.p() + perm_p[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < alg.n(); ++i) {
+    for (std::size_t j = 0; j < alg.p(); ++j) {
+      for (std::size_t r = 0; r < t; ++r) {
+        w2.at(i * alg.p() + j, r) =
+            alg.w().at(perm_n[i] * alg.p() + perm_p[j], r);
+      }
+    }
+  }
+  BilinearAlgorithm conjugated(alg.name() + "-perm", alg.n(), alg.m(),
+                               alg.p(), std::move(u2), std::move(v2),
+                               std::move(w2));
+
+  // Transport the shared circuits through the relabelling so conjugates
+  // keep their addition counts.
+  {
+    std::vector<std::size_t> a_map(alg.n() * alg.m());
+    for (std::size_t i = 0; i < alg.n(); ++i) {
+      for (std::size_t k = 0; k < alg.m(); ++k) {
+        a_map[perm_n[i] * alg.m() + perm_m[k]] = i * alg.m() + k;
+      }
+    }
+    std::vector<std::size_t> b_map(alg.m() * alg.p());
+    for (std::size_t k = 0; k < alg.m(); ++k) {
+      for (std::size_t j = 0; j < alg.p(); ++j) {
+        b_map[perm_m[k] * alg.p() + perm_p[j]] = k * alg.p() + j;
+      }
+    }
+    std::vector<std::size_t> c_map(alg.n() * alg.p());
+    for (std::size_t i = 0; i < alg.n(); ++i) {
+      for (std::size_t j = 0; j < alg.p(); ++j) {
+        c_map[i * alg.p() + j] = perm_n[i] * alg.p() + perm_p[j];
+      }
+    }
+    conjugated.set_circuits(alg.encoder_a_circuit().remap_inputs(a_map),
+                            alg.encoder_b_circuit().remap_inputs(b_map),
+                            alg.decoder_circuit().reorder_outputs(c_map));
+  }
+  return conjugated;
+}
+
+BilinearAlgorithm strassen_permuted() {
+  return permute_base(strassen(), {1, 0}, {1, 0}, {1, 0});
+}
+
+BilinearAlgorithm strassen_squared() {
+  return BilinearAlgorithm::tensor(strassen(), strassen());
+}
+
+BilinearAlgorithm rect_2x2x4() {
+  return BilinearAlgorithm::tensor(strassen(), classic(1, 1, 2));
+}
+
+BilinearAlgorithm rect_4x2x2() {
+  return BilinearAlgorithm::tensor(classic(2, 1, 1), strassen());
+}
+
+BilinearAlgorithm border_one(const BilinearAlgorithm& alg) {
+  FMM_CHECK_MSG(alg.is_square(), "border_one requires a square base");
+  const std::size_t b = alg.n();
+  const std::size_t s = b + 1;  // bordered size
+  const std::size_t t0 = alg.num_products();
+  const std::size_t t = t0 + 3 * b * b + 3 * b + 1;
+
+  IntMat u(t, s * s);
+  IntMat v(t, s * s);
+  IntMat w(s * s, t);
+
+  // Index helpers: (i, j) of the bordered matrices; the inner block is
+  // rows/cols [0, b), the border is row/col b.
+  const auto at = [s](std::size_t i, std::size_t j) { return i * s + j; };
+
+  std::size_t r = 0;
+  // 1. The inner fast products: ALG on A11, B11 contributing to C11.
+  for (std::size_t r0 = 0; r0 < t0; ++r0, ++r) {
+    for (std::size_t i = 0; i < b; ++i) {
+      for (std::size_t k = 0; k < b; ++k) {
+        u.at(r, at(i, k)) = alg.u().at(r0, i * b + k);
+        v.at(r, at(i, k)) = alg.v().at(r0, i * b + k);
+      }
+    }
+    for (std::size_t i = 0; i < b; ++i) {
+      for (std::size_t j = 0; j < b; ++j) {
+        w.at(at(i, j), r) = alg.w().at(i * b + j, r0);
+      }
+    }
+  }
+  // 2. a12 (x) b21 -> C11: products A[i][b] * B[b][j].
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j, ++r) {
+      u.at(r, at(i, b)) = 1;
+      v.at(r, at(b, j)) = 1;
+      w.at(at(i, j), r) = 1;
+    }
+  }
+  // 3. A11 b12 -> C12: products A[i][k] * B[k][b].
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t k = 0; k < b; ++k, ++r) {
+      u.at(r, at(i, k)) = 1;
+      v.at(r, at(k, b)) = 1;
+      w.at(at(i, b), r) = 1;
+    }
+  }
+  // 4. a12 b22 -> C12: products A[i][b] * B[b][b].
+  for (std::size_t i = 0; i < b; ++i, ++r) {
+    u.at(r, at(i, b)) = 1;
+    v.at(r, at(b, b)) = 1;
+    w.at(at(i, b), r) = 1;
+  }
+  // 5. a21 B11 -> C21: products A[b][k] * B[k][j].
+  for (std::size_t k = 0; k < b; ++k) {
+    for (std::size_t j = 0; j < b; ++j, ++r) {
+      u.at(r, at(b, k)) = 1;
+      v.at(r, at(k, j)) = 1;
+      w.at(at(b, j), r) = 1;
+    }
+  }
+  // 6. a22 b21 -> C21: products A[b][b] * B[b][j].
+  for (std::size_t j = 0; j < b; ++j, ++r) {
+    u.at(r, at(b, b)) = 1;
+    v.at(r, at(b, j)) = 1;
+    w.at(at(b, j), r) = 1;
+  }
+  // 7. a21 b12 -> C22: products A[b][k] * B[k][b].
+  for (std::size_t k = 0; k < b; ++k, ++r) {
+    u.at(r, at(b, k)) = 1;
+    v.at(r, at(k, b)) = 1;
+    w.at(at(b, b), r) = 1;
+  }
+  // 8. a22 b22 -> C22.
+  u.at(r, at(b, b)) = 1;
+  v.at(r, at(b, b)) = 1;
+  w.at(at(b, b), r) = 1;
+  ++r;
+  FMM_CHECK(r == t);
+
+  return BilinearAlgorithm(alg.name() + "-bordered", s, s, s, std::move(u),
+                           std::move(v), std::move(w));
+}
+
+BilinearAlgorithm strassen_bordered_3x3() {
+  return border_one(strassen());
+}
+
+std::vector<BilinearAlgorithm> fast_2x2_orbit() {
+  std::vector<BilinearAlgorithm> orbit;
+  const std::vector<std::vector<std::size_t>> perms{{0, 1}, {1, 0}};
+  for (const auto& base : {strassen(), winograd()}) {
+    for (const auto& pn : perms) {
+      for (const auto& pm : perms) {
+        for (const auto& pp : perms) {
+          BilinearAlgorithm conjugated = permute_base(base, pn, pm, pp);
+          orbit.push_back(conjugated.transpose_dual());
+          orbit.push_back(std::move(conjugated));
+        }
+      }
+    }
+  }
+  return orbit;
+}
+
+std::vector<BilinearAlgorithm> all_fast_2x2_algorithms() {
+  std::vector<BilinearAlgorithm> algorithms;
+  algorithms.push_back(strassen());
+  algorithms.push_back(winograd());
+  algorithms.push_back(strassen_transposed());
+  algorithms.push_back(strassen_permuted());
+  algorithms.push_back(winograd_transposed());
+  return algorithms;
+}
+
+}  // namespace fmm::bilinear

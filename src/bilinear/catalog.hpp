@@ -1,0 +1,92 @@
+// Catalog of concrete bilinear matrix-multiplication algorithms.
+//
+// Every algorithm the paper's results range over is represented:
+//   - classic <n,m,p; n*m*p> (Table I row 1; also the recursion base case),
+//   - Strassen's <2,2,2;7> exactly as the paper's Algorithm 2,
+//   - Strassen–Winograd <2,2,2;7> with the 15-addition shared circuits
+//     (leading coefficient 6, the paper's Section IV reference point),
+//   - structurally distinct valid 7-multiplication variants obtained by
+//     transpose duality and base permutation — these exercise the paper's
+//     claim that the bounds hold for *any* 2x2-base algorithm, not just
+//     Strassen's (the point of replacing case analysis with Lemma 3.1),
+//   - tensor-product algorithms: <4,4,4;49> = Strassen ⊗ Strassen and
+//     rectangular bases such as <2,2,4;14> for Table I's rectangular row.
+//
+// All constructors return algorithms that pass the exact Brent-equation
+// validity check (tests enforce this for the whole catalog).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bilinear/algorithm.hpp"
+
+namespace fmm::bilinear {
+
+/// Classical <n,m,p; n*m*p> algorithm (one product per scalar term).
+BilinearAlgorithm classic(std::size_t n, std::size_t m, std::size_t p);
+
+/// Strassen's <2,2,2;7> algorithm (paper's Algorithm 2, corrected M6 =
+/// (A21 - A11)(B11 + B12); the paper's listing has a typo).  18 additions
+/// with naive circuits, leading coefficient 7.
+BilinearAlgorithm strassen();
+
+/// Strassen–Winograd <2,2,2;7>: 15 additions via shared straight-line
+/// circuits, leading coefficient 6.
+BilinearAlgorithm winograd();
+
+/// The transpose-dual of Strassen's algorithm (computes C^T = B^T A^T);
+/// a valid 7-multiplication 2x2 algorithm with different coefficients.
+BilinearAlgorithm strassen_transposed();
+
+/// Strassen conjugated by the row/column swap permutation — yet another
+/// valid 7-multiplication 2x2-base algorithm.
+BilinearAlgorithm strassen_permuted();
+
+/// The transpose-dual of Winograd's algorithm.
+BilinearAlgorithm winograd_transposed();
+
+/// Generic base-permutation conjugation: relabels the rows of A by
+/// `perm_n`, the inner dimension by `perm_m`, and the columns of B by
+/// `perm_p`; validity is preserved.
+BilinearAlgorithm permute_base(const BilinearAlgorithm& alg,
+                               const std::vector<std::size_t>& perm_n,
+                               const std::vector<std::size_t>& perm_m,
+                               const std::vector<std::size_t>& perm_p);
+
+/// Strassen ⊗ Strassen = <4,4,4;49> (general-base row of Table I,
+/// omega0 = log4(49) = log2(7)).
+BilinearAlgorithm strassen_squared();
+
+/// Rectangular base <2,2,4;14> = Strassen ⊗ classic<1,1,2>
+/// (Table I rectangular row).
+BilinearAlgorithm rect_2x2x4();
+
+/// Rectangular base <4,2,2;14> = classic<2,1,1> ⊗ Strassen.
+BilinearAlgorithm rect_4x2x2();
+
+/// Every fast (7-multiplication) 2x2-base algorithm in the catalog — the
+/// family Theorem 1.1 quantifies over.  Used by parameterized tests and
+/// the encoder-certification benches.
+std::vector<BilinearAlgorithm> all_fast_2x2_algorithms();
+
+/// Block-bordering combinator: extends a square <b,b,b;t> algorithm to a
+/// valid <b+1,b+1,b+1; t + 3b^2 + 3b + 1> algorithm by treating the last
+/// row/column as a border handled classically:
+///   C11 = ALG(A11,B11) + a12 (x) b21,  C12 = A11 b12 + a12 b22,
+///   C21 = a21 B11 + a22 b21,           C22 = a21 b12 + a22 b22.
+/// Bordering Strassen yields <3,3,3;26>, beating the classical 27
+/// (omega = log3 26 ~ 2.966) — a runnable base case for the paper's
+/// general-base row.
+BilinearAlgorithm border_one(const BilinearAlgorithm& alg);
+
+/// border_one(strassen()): the <3,3,3;26> algorithm.
+BilinearAlgorithm strassen_bordered_3x3();
+
+/// The full symmetry orbit: Strassen and Winograd under every
+/// permutation conjugation (row/inner/column swaps) and transpose
+/// duality — dozens of structurally distinct valid 7-multiplication
+/// algorithms for exhaustive certification sweeps.
+std::vector<BilinearAlgorithm> fast_2x2_orbit();
+
+}  // namespace fmm::bilinear

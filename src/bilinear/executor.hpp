@@ -1,0 +1,68 @@
+// Recursive execution of bilinear algorithms on dense matrices, with exact
+// arithmetic-operation accounting.
+//
+// This is the runnable counterpart of the paper's Algorithm 2 (recursive
+// Strassen) generalized to any square-base bilinear algorithm: at each
+// level the input is split into a b x b grid of blocks, the encoder
+// circuits combine blocks, the t products recurse, and the decoder circuit
+// assembles C.  Operation counters let benches measure leading
+// coefficients (7 for Strassen, 6 for Winograd, 5 for the alternative
+// basis variant in src/altbasis) against the closed-form predictions.
+#pragma once
+
+#include <cstdint>
+
+#include "bilinear/algorithm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace fmm::bilinear {
+
+/// Exact operation counts of one execution.
+struct OpCount {
+  std::int64_t multiplications = 0;
+  std::int64_t additions = 0;  // includes subtractions and negations
+
+  std::int64_t total() const { return multiplications + additions; }
+
+  OpCount& operator+=(const OpCount& other) {
+    multiplications += other.multiplications;
+    additions += other.additions;
+    return *this;
+  }
+};
+
+/// Recursive executor for a square-base bilinear algorithm.
+class RecursiveExecutor {
+ public:
+  /// `cutoff`: sizes <= cutoff use the classical kernel.  cutoff = 1 runs
+  /// the bilinear recursion all the way down (scalar base case), which is
+  /// what the CDAG H^{n x n} models.  The algorithm is stored by value so
+  /// temporaries (e.g. `RecursiveExecutor(strassen())`) are safe.
+  explicit RecursiveExecutor(BilinearAlgorithm algorithm,
+                             std::size_t cutoff = 1);
+
+  /// C = A * B.  Dimensions must be (d, d) with d a power of the base
+  /// size b; use multiply_padded for arbitrary shapes.
+  linalg::Mat multiply(const linalg::Mat& a, const linalg::Mat& b);
+
+  /// C = A * B for arbitrary conforming shapes (zero-pads to the next
+  /// power of b, then crops).
+  linalg::Mat multiply_padded(const linalg::Mat& a, const linalg::Mat& b);
+
+  /// Operation counts accumulated since construction / reset.
+  const OpCount& op_count() const { return count_; }
+  void reset_count() { count_ = OpCount{}; }
+
+  /// Closed-form predicted counts for a d x d multiply (d a power of the
+  /// base size), matching what multiply() performs exactly.
+  OpCount predicted_count(std::size_t d) const;
+
+ private:
+  linalg::Mat multiply_recursive(const linalg::Mat& a, const linalg::Mat& b);
+
+  BilinearAlgorithm algorithm_;
+  std::size_t cutoff_;
+  OpCount count_;
+};
+
+}  // namespace fmm::bilinear

@@ -1,0 +1,118 @@
+// Straight-line linear circuits (additions/subtractions over a ring).
+//
+// A bilinear algorithm's encoders and decoder are linear maps.  The naive
+// circuit for a map with matrix L performs nnz(L) - rows(L) additions, but
+// real algorithms (Winograd's in particular) share common subexpressions:
+// Winograd's A-encoder computes 7 linear combinations with only 4
+// additions.  Leading-coefficient measurements (Strassen 7, Winograd 6,
+// alternative-basis 5 — the paper's Section IV) depend on these shared
+// circuits, so we model them explicitly and *verify* that a circuit
+// computes the linear map it claims to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmm::bilinear {
+
+/// Dense integer matrix for algorithm coefficients (entries are small).
+struct IntMat {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<int> data;  // row-major
+
+  IntMat() = default;
+  IntMat(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0) {}
+
+  int& at(std::size_t i, std::size_t j) { return data[i * cols + j]; }
+  int at(std::size_t i, std::size_t j) const { return data[i * cols + j]; }
+
+  /// Number of nonzero entries.
+  std::size_t nnz() const;
+  /// Number of nonzeros in row i.
+  std::size_t row_nnz(std::size_t i) const;
+
+  /// Kronecker (tensor) product.
+  static IntMat kronecker(const IntMat& a, const IntMat& b);
+
+  /// Matrix product (exact integer arithmetic, overflow-checked).
+  static IntMat multiply(const IntMat& a, const IntMat& b);
+
+  /// Identity of order n.
+  static IntMat identity(std::size_t n);
+
+  /// Inverse over the rationals, valid only when the inverse is integral
+  /// (true for all our basis transforms); throws CheckError otherwise.
+  IntMat inverse_integer() const;
+
+  /// Determinant via fraction-free Gaussian elimination (Bareiss).
+  std::int64_t determinant() const;
+
+  bool operator==(const IntMat& other) const = default;
+};
+
+/// One straight-line operation: value[dst] = c1 * value[s1] + c2 * value[s2].
+/// Coefficients are small integers (in our algorithms, always ±1, but the
+/// evaluator accepts any int).
+struct LinOp {
+  std::size_t s1 = 0;
+  int c1 = 1;
+  std::size_t s2 = 0;
+  int c2 = 1;
+};
+
+/// A linear straight-line program: values 0..num_inputs-1 are the inputs;
+/// each op appends one value; `outputs` lists which value indices form the
+/// circuit's output vector (in order).
+class LinearCircuit {
+ public:
+  LinearCircuit() = default;
+  LinearCircuit(std::size_t num_inputs, std::vector<LinOp> ops,
+                std::vector<std::size_t> outputs);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_ops() const { return ops_.size(); }
+  const std::vector<LinOp>& ops() const { return ops_; }
+  const std::vector<std::size_t>& outputs() const { return outputs_; }
+
+  /// Evaluates on an input vector of doubles.
+  std::vector<double> evaluate(const std::vector<double>& inputs) const;
+
+  /// Evaluates on integer inputs (exact, overflow-checked).
+  std::vector<std::int64_t> evaluate_exact(
+      const std::vector<std::int64_t>& inputs) const;
+
+  /// The (num_outputs x num_inputs) matrix this circuit computes, derived
+  /// by evaluating on all unit vectors.
+  IntMat to_matrix() const;
+
+  /// True iff the circuit computes exactly the linear map `expected`.
+  bool computes(const IntMat& expected) const;
+
+  /// The same circuit with its input slots relabelled: input i of this
+  /// circuit becomes input old_to_new[i] of the result (a bijection on
+  /// [0, num_inputs)).  Used to transport shared encoder circuits across
+  /// the transpose-dual and permutation-conjugation symmetries.
+  LinearCircuit remap_inputs(const std::vector<std::size_t>& old_to_new)
+      const;
+
+  /// The same circuit with its outputs reordered: output i of the result
+  /// is output new_from_old[i] of this circuit.
+  LinearCircuit reorder_outputs(
+      const std::vector<std::size_t>& new_from_old) const;
+
+  /// The naive circuit for `matrix`: each output row evaluated
+  /// left-to-right with no sharing; performs sum(row_nnz - 1) ops for
+  /// nonzero rows (a row that is a signed unit vector costs 0 ops but may
+  /// cost 1 if negated — we model negation as 0 - x, one op).
+  static LinearCircuit naive_from_matrix(const IntMat& matrix);
+
+ private:
+  std::size_t num_inputs_ = 0;
+  std::vector<LinOp> ops_;
+  std::vector<std::size_t> outputs_;
+};
+
+}  // namespace fmm::bilinear

@@ -1,0 +1,188 @@
+#include "bounds/dominator_cert.hpp"
+
+#include <algorithm>
+
+#include "bounds/grigoriev.hpp"
+#include "common/check.hpp"
+#include "graph/vertex_cut.hpp"
+
+namespace fmm::bounds {
+
+std::size_t min_dominator_size(const cdag::Cdag& cdag,
+                               const std::vector<graph::VertexId>& targets) {
+  return graph::min_vertex_cut(cdag.graph, cdag.all_inputs(), targets)
+      .cut_size;
+}
+
+namespace {
+
+std::vector<graph::VertexId> choose_z(const cdag::Cdag& cdag, std::size_t r,
+                                      ZChoice choice, Rng& rng) {
+  const auto& subs = cdag.subproblem_outputs.at(r);
+  const std::size_t z_target = r * r;
+  switch (choice) {
+    case ZChoice::kSingleSubproblem: {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform(subs.size()));
+      return subs[pick];
+    }
+    case ZChoice::kUniformRandom: {
+      const std::vector<graph::VertexId> flat = cdag.sub_outputs_flat(r);
+      std::vector<graph::VertexId> z;
+      for (const std::size_t idx :
+           rng.sample_without_replacement(flat.size(), z_target)) {
+        z.push_back(flat[idx]);
+      }
+      return z;
+    }
+    case ZChoice::kColumnSlices: {
+      // Take ceil(r^2 / k) outputs from each of k distinct sub-problems.
+      const std::size_t k = std::min<std::size_t>(subs.size(), r);
+      std::vector<std::size_t> picks =
+          rng.sample_without_replacement(subs.size(), k);
+      std::vector<graph::VertexId> z;
+      std::size_t need = z_target;
+      for (std::size_t i = 0; i < k && need > 0; ++i) {
+        const auto& sub = subs[picks[i]];
+        const std::size_t take =
+            std::min(need, (z_target + k - 1) / k);
+        for (std::size_t e = 0; e < take && e < sub.size(); ++e) {
+          z.push_back(sub[e]);
+          --need;
+        }
+      }
+      // Top up from the first picked sub-problem if rounding left a gap.
+      for (std::size_t e = 0; need > 0 && e < subs[picks[0]].size(); ++e) {
+        const graph::VertexId v = subs[picks[0]][e];
+        if (std::find(z.begin(), z.end(), v) == z.end()) {
+          z.push_back(v);
+          --need;
+        }
+      }
+      return z;
+    }
+  }
+  FMM_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+DominatorCertificate certify_dominator_bound(const cdag::Cdag& cdag,
+                                             std::size_t r,
+                                             std::size_t num_samples,
+                                             ZChoice choice, Rng& rng) {
+  FMM_CHECK(cdag.subproblem_outputs.count(r) == 1);
+  DominatorCertificate cert;
+  cert.all_hold = true;
+  cert.worst_ratio = 1e300;
+  const std::vector<graph::VertexId> inputs = cdag.all_inputs();
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const std::vector<graph::VertexId> z = choose_z(cdag, r, choice, rng);
+    DominatorSample sample;
+    sample.z_size = z.size();
+    sample.min_dominator =
+        graph::min_vertex_cut(cdag.graph, inputs, z).cut_size;
+    const double required = static_cast<double>(sample.z_size) / 2.0;
+    sample.slack_ratio =
+        static_cast<double>(sample.min_dominator) / required;
+    sample.holds = sample.slack_ratio >= 1.0;
+    cert.worst_ratio = std::min(cert.worst_ratio, sample.slack_ratio);
+    cert.all_hold = cert.all_hold && sample.holds;
+    cert.samples.push_back(sample);
+  }
+  return cert;
+}
+
+std::vector<PathSample> certify_disjoint_paths(const cdag::Cdag& cdag,
+                                               std::size_t r,
+                                               std::size_t num_samples,
+                                               Rng& rng) {
+  // Lemma 3.11's path system runs from V_inp(H^{n x n}) to a set
+  // Y ⊆ V_inp(SUB_H^{r x r}) of sub-problem *operand* vertices from which
+  // Z remains reachable without touching Γ; only the input->Y legs are
+  // vertex-disjoint.  We therefore measure the maximum number of
+  // vertex-disjoint paths from the CDAG inputs to the candidate set
+  // Y' = { y in V_inp(SUB) : y reaches Z in G \ Γ } and compare with
+  // 2 r sqrt(|Z| - 2|Γ|).
+  std::vector<PathSample> samples;
+  const std::vector<graph::VertexId> inputs = cdag.all_inputs();
+  const auto& sub_outs = cdag.subproblem_outputs.at(r);
+  const auto& sub_ins = cdag.subproblem_inputs.at(r);
+  FMM_CHECK(sub_outs.size() == sub_ins.size());
+
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform(sub_outs.size()));
+    const std::vector<graph::VertexId>& z = sub_outs[pick];
+
+    // Γ ⊆ V_int of the chosen sub-problem, |Γ| < |Z| / 2.
+    std::vector<graph::VertexId> internal;
+    {
+      const auto& span = cdag.subproblem_spans.at(r)[pick];
+      std::vector<bool> is_output(cdag.graph.num_vertices(), false);
+      for (const graph::VertexId v : z) {
+        is_output[v] = true;
+      }
+      for (graph::VertexId v = span.first; v < span.second; ++v) {
+        if (!is_output[v]) {
+          internal.push_back(v);
+        }
+      }
+    }
+    const std::size_t gamma_max = z.size() / 2 == 0 ? 0 : z.size() / 2 - 1;
+    const std::size_t gamma_size =
+        gamma_max == 0
+            ? 0
+            : static_cast<std::size_t>(rng.uniform(gamma_max + 1));
+    std::vector<graph::VertexId> gamma;
+    for (const std::size_t idx : rng.sample_without_replacement(
+             internal.size(), std::min(gamma_size, internal.size()))) {
+      gamma.push_back(internal[idx]);
+    }
+
+    // Backward reachability from Z in G \ Γ.
+    std::vector<bool> forbidden(cdag.graph.num_vertices(), false);
+    for (const graph::VertexId v : gamma) {
+      forbidden[v] = true;
+    }
+    std::vector<graph::VertexId> frontier;
+    std::vector<bool> reaches_z(cdag.graph.num_vertices(), false);
+    for (const graph::VertexId v : z) {
+      if (!forbidden[v]) {
+        reaches_z[v] = true;
+        frontier.push_back(v);
+      }
+    }
+    while (!frontier.empty()) {
+      const graph::VertexId v = frontier.back();
+      frontier.pop_back();
+      for (const graph::VertexId w : cdag.graph.in_neighbors(v)) {
+        if (!reaches_z[w] && !forbidden[w]) {
+          reaches_z[w] = true;
+          frontier.push_back(w);
+        }
+      }
+    }
+    std::vector<graph::VertexId> y_candidates;
+    for (const graph::VertexId y : sub_ins[pick]) {
+      if (reaches_z[y]) {
+        y_candidates.push_back(y);
+      }
+    }
+
+    PathSample sample;
+    sample.z_size = z.size();
+    sample.gamma_size = gamma.size();
+    sample.disjoint_paths =
+        graph::max_vertex_disjoint_paths(cdag.graph, inputs, y_candidates);
+    sample.guaranteed = disjoint_path_bound(
+        r, static_cast<double>(z.size()), static_cast<double>(gamma.size()));
+    sample.holds =
+        static_cast<double>(sample.disjoint_paths) >= sample.guaranteed;
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace fmm::bounds

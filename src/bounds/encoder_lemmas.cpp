@@ -1,0 +1,176 @@
+#include "bounds/encoder_lemmas.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "graph/bipartite.hpp"
+
+namespace fmm::bounds {
+
+namespace {
+
+/// ceil(x / 2).
+std::size_t ceil_half(std::size_t x) { return (x + 1) / 2; }
+
+}  // namespace
+
+std::size_t lemma31_required_matching(std::size_t subset_size) {
+  FMM_CHECK(subset_size >= 1);
+  return 1 + ceil_half(subset_size - 1);
+}
+
+EncoderCertificate certify_encoder(const bilinear::BilinearAlgorithm& alg,
+                                   bilinear::Side side) {
+  EncoderCertificate cert;
+  const graph::BipartiteGraph enc = alg.encoder_bipartite(side);
+  const std::size_t num_inputs = enc.n_left();
+  const std::size_t t = enc.n_right();
+  FMM_CHECK_MSG(num_inputs == 4, "Lemma 3.1 certification requires a 2x2 "
+                                 "base (4 encoder inputs), got "
+                                     << num_inputs);
+  FMM_CHECK_MSG(t <= 24, "too many products for exhaustive certification");
+  std::ostringstream failures;
+
+  // Lemma 3.2 part 1: every input vertex has at least two neighbors.
+  cert.lemma32_degrees = true;
+  for (std::size_t x = 0; x < num_inputs; ++x) {
+    const std::size_t degree = enc.neighbors(x).size();
+    if (degree < 2) {
+      cert.lemma32_degrees = false;
+      failures << "input " << x << " has degree " << degree << " < 2; ";
+    }
+  }
+
+  // Lemma 3.2 part 2: every input pair covers at least 4 products.
+  cert.lemma32_pairs = true;
+  for (std::size_t x1 = 0; x1 < num_inputs; ++x1) {
+    for (std::size_t x2 = x1 + 1; x2 < num_inputs; ++x2) {
+      const std::size_t cover = enc.neighborhood({x1, x2}).size();
+      if (cover < 4) {
+        cert.lemma32_pairs = false;
+        failures << "pair (" << x1 << "," << x2 << ") covers " << cover
+                 << " < 4 products; ";
+      }
+    }
+  }
+
+  // Lemma 3.3: product supports pairwise distinct.
+  cert.lemma33_distinct = true;
+  {
+    const auto supports = alg.product_supports(side);
+    std::set<std::vector<std::size_t>> seen;
+    for (std::size_t r = 0; r < supports.size(); ++r) {
+      if (!seen.insert(supports[r]).second) {
+        cert.lemma33_distinct = false;
+        failures << "product " << r << " duplicates another support; ";
+      }
+    }
+  }
+
+  // Lemma 3.1: exhaustive over all non-empty product subsets Y'.
+  // The matching guaranteed is between Y' and the inputs, so we run
+  // maximum matching on the induced subgraph with the right side
+  // restricted to Y'.
+  cert.lemma31_matching = true;
+  int min_slack = INT32_MAX;
+  std::vector<std::size_t> all_inputs(num_inputs);
+  for (std::size_t x = 0; x < num_inputs; ++x) {
+    all_inputs[x] = x;
+  }
+  for (std::uint32_t mask = 1; mask < (1u << t); ++mask) {
+    std::vector<std::size_t> subset;
+    for (std::size_t y = 0; y < t; ++y) {
+      if (mask & (1u << y)) {
+        subset.push_back(y);
+      }
+    }
+    const graph::BipartiteGraph induced = enc.induced(all_inputs, subset);
+    const std::size_t matching = graph::max_matching(induced).size;
+    const std::size_t required = lemma31_required_matching(subset.size());
+    const int slack =
+        static_cast<int>(matching) - static_cast<int>(required);
+    min_slack = std::min(min_slack, slack);
+    if (slack < 0) {
+      cert.lemma31_matching = false;
+      failures << "subset of " << subset.size() << " products has matching "
+               << matching << " < required " << required << "; ";
+    }
+  }
+  cert.min_matching_slack = min_slack;
+  cert.failure = failures.str();
+  return cert;
+}
+
+const std::vector<HopcroftKerrSet>& hopcroft_kerr_sets() {
+  // Index order: A11, A12, A21, A22.
+  static const std::vector<HopcroftKerrSet> kSets = {
+      {{{{1, 0, 0, 0}, {0, 1, 1, 0}, {1, 1, 1, 0}}},
+       "S0: A11 | A12+A21 | A11+A12+A21"},
+      {{{{1, 0, 1, 0}, {0, 1, 1, 1}, {1, 1, 0, 1}}},
+       "S1: A11+A21 | A12+A21+A22 | A11+A12+A22"},
+      {{{{1, 1, 0, 0}, {0, 1, 1, 1}, {1, 1, 0, 1}}},
+       "S2: A11+A12 | A12+A21+A22 | A11+A12+A22"},
+      {{{{1, 1, 1, 1}, {0, 1, 1, 0}, {1, 0, 0, 1}}},
+       "S3: A11+A12+A21+A22 | A12+A21 | A11+A22"},
+      {{{{0, 0, 1, 0}, {1, 0, 0, 1}, {1, 0, 1, 1}}},
+       "S4: A21 | A11+A22 | A11+A21+A22"},
+      {{{{0, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}}},
+       "S5: A21+A22 | A11+A12+A22 | A11+A12+A21"},
+      {{{{0, 1, 0, 0}, {1, 0, 0, 1}, {1, 1, 0, 1}}},
+       "S6: A12 | A11+A22 | A11+A12+A22"},
+      {{{{0, 1, 0, 1}, {1, 0, 1, 1}, {1, 1, 1, 0}}},
+       "S7: A12+A22 | A11+A21+A22 | A11+A12+A21"},
+      {{{{0, 0, 0, 1}, {0, 1, 1, 0}, {0, 1, 1, 1}}},
+       "S8: A22 | A12+A21 | A12+A21+A22"},
+  };
+  return kSets;
+}
+
+HopcroftKerrCertificate certify_hopcroft_kerr(
+    const bilinear::BilinearAlgorithm& alg) {
+  HopcroftKerrCertificate cert;
+  FMM_CHECK_MSG(alg.n() == 2 && alg.m() == 2,
+                "Hopcroft–Kerr sets are defined for 2x2 left operands");
+  const std::size_t t = alg.num_products();
+  FMM_CHECK_MSG(t >= 6, "Hopcroft–Kerr requires at least 6 products");
+  const std::size_t budget = t - 6;
+
+  const auto& sets = hopcroft_kerr_sets();
+  cert.usage.assign(sets.size(), 0);
+  std::ostringstream failures;
+  cert.pass = true;
+
+  auto row_matches = [&](std::size_t r, const std::array<int, 4>& form) {
+    bool plus = true;
+    bool minus = true;
+    for (std::size_t x = 0; x < 4; ++x) {
+      const int coef = alg.u().at(r, x);
+      if (coef != form[x]) plus = false;
+      if (coef != -form[x]) minus = false;
+    }
+    return plus || minus;
+  };
+
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    for (std::size_t r = 0; r < t; ++r) {
+      for (const auto& form : sets[s].forms) {
+        if (row_matches(r, form)) {
+          ++cert.usage[s];
+          break;
+        }
+      }
+    }
+    if (cert.usage[s] > budget) {
+      cert.pass = false;
+      failures << sets[s].label << " used " << cert.usage[s] << " > "
+               << budget << " times; ";
+    }
+  }
+  cert.failure = failures.str();
+  return cert;
+}
+
+}  // namespace fmm::bounds

@@ -1,0 +1,74 @@
+// Certifiers for the encoder-graph lemmas (Section III of the paper).
+//
+// The paper's key technical innovation is replacing Bilardi–De Stefani's
+// Strassen-specific case analysis with a bipartite-matching property that
+// holds for EVERY fast matrix multiplication algorithm with a 2x2 base
+// case (Lemma 3.1), supported by degree properties (Lemma 3.2), the
+// distinct-neighborhood property (Lemma 3.3), and Hopcroft–Kerr's
+// minimality results (Lemma 3.4 / Corollary 3.5).  The functions here
+// check each statement exhaustively on a concrete algorithm's encoder
+// graphs — for 2x2 bases these are finite checks (|Y| = 7, so 127 subsets).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bilinear/algorithm.hpp"
+
+namespace fmm::bounds {
+
+/// Lemma 3.1's guaranteed matching size for a product subset of size k:
+/// 1 + ceil((k - 1) / 2).
+std::size_t lemma31_required_matching(std::size_t subset_size);
+
+/// Outcome of certifying one encoder graph.
+struct EncoderCertificate {
+  bool lemma31_matching = false;   // every Y' has the guaranteed matching
+  bool lemma32_degrees = false;    // every input in >= 2 products
+  bool lemma32_pairs = false;      // every input pair covers >= 4 products
+  bool lemma33_distinct = false;   // no two products with equal support
+  /// Smallest matching slack observed over all Y' (matching size minus the
+  /// Lemma 3.1 requirement); 0 means the bound is tight for some subset.
+  int min_matching_slack = 0;
+  /// Diagnostics for the first failure, empty when all pass.
+  std::string failure;
+
+  bool all_pass() const {
+    return lemma31_matching && lemma32_degrees && lemma32_pairs &&
+           lemma33_distinct;
+  }
+};
+
+/// Certifies Lemmas 3.1–3.3 for one encoder (A or B side) of a 2x2-base
+/// algorithm.  Requires a 4-input encoder (n*m == 4 or m*p == 4).
+EncoderCertificate certify_encoder(const bilinear::BilinearAlgorithm& alg,
+                                   bilinear::Side side);
+
+/// One Hopcroft–Kerr forbidden set: three {0,1}-linear forms on the four
+/// A-entries (A11, A12, A21, A22); an optimal (7-multiplication) algorithm
+/// may use at most one form from each set as a left-hand-side operand
+/// (Lemma 3.4 gives >= 6 + k multiplications for k uses).
+struct HopcroftKerrSet {
+  std::array<std::array<int, 4>, 3> forms;
+  std::string label;
+};
+
+/// The nine sets of Lemma 3.4 and Corollary 3.5.
+const std::vector<HopcroftKerrSet>& hopcroft_kerr_sets();
+
+/// Result of checking Lemma 3.4 / Corollary 3.5 against an algorithm.
+struct HopcroftKerrCertificate {
+  bool pass = false;
+  /// Per-set usage count (row of U equal to ± a form of the set).
+  std::vector<std::size_t> usage;
+  std::string failure;
+};
+
+/// Counts, for each HK set, the U rows equal (up to global sign) to one of
+/// the set's forms, and checks count <= t - 6 (so <= 1 for t = 7).
+HopcroftKerrCertificate certify_hopcroft_kerr(
+    const bilinear::BilinearAlgorithm& alg);
+
+}  // namespace fmm::bounds

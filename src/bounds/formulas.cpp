@@ -1,0 +1,78 @@
+#include "bounds/formulas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::bounds {
+
+namespace {
+void check_params(const MmParams& params) {
+  FMM_CHECK(params.n >= 1 && params.m >= 1 && params.p >= 1);
+}
+}  // namespace
+
+double classic_memory_dependent(const MmParams& params) {
+  check_params(params);
+  return fpow(params.n / std::sqrt(params.m), 3.0) * params.m / params.p;
+}
+
+double classic_memory_independent(const MmParams& params) {
+  check_params(params);
+  return params.n * params.n / fpow(params.p, 2.0 / 3.0);
+}
+
+double fast_memory_dependent(const MmParams& params, double omega0) {
+  check_params(params);
+  FMM_CHECK(omega0 > 2.0);
+  return fpow(params.n / std::sqrt(params.m), omega0) * params.m / params.p;
+}
+
+double fast_memory_independent(const MmParams& params, double omega0) {
+  check_params(params);
+  FMM_CHECK(omega0 > 2.0);
+  return params.n * params.n / fpow(params.p, 2.0 / omega0);
+}
+
+double fast_parallel_bound(const MmParams& params, double omega0) {
+  return std::max(fast_memory_dependent(params, omega0),
+                  fast_memory_independent(params, omega0));
+}
+
+double parallel_crossover_p(double n, double m, double omega0) {
+  FMM_CHECK(n >= 1 && m >= 1 && omega0 > 2.0);
+  // Solve (n/√M)^ω · M / P = n² / P^{2/ω} for P:
+  //   P^{1 - 2/ω} = (n/√M)^ω · M / n²  =>  P = [...]^{ω/(ω-2)}.
+  const double lhs = fpow(n / std::sqrt(m), omega0) * m / (n * n);
+  return fpow(lhs, omega0 / (omega0 - 2.0));
+}
+
+double rectangular_bound(double m, double p_dim, double q, double t_levels,
+                         double cache_m, double procs) {
+  FMM_CHECK(m >= 1 && p_dim >= 1 && q >= 2 && t_levels >= 1 &&
+            cache_m >= 2 && procs >= 1);
+  const double log_mp_q = std::log(q) / std::log(m * p_dim);
+  return fpow(q, t_levels) / (procs * fpow(cache_m, log_mp_q - 1.0));
+}
+
+double fft_memory_dependent(double n, double cache_m, double procs) {
+  FMM_CHECK(n >= 2 && cache_m >= 2 && procs >= 1);
+  return n * std::log2(n) / (procs * std::log2(cache_m));
+}
+
+double fft_memory_independent(double n, double procs) {
+  FMM_CHECK(n >= 2 && procs >= 1);
+  const double ratio = n / procs;
+  FMM_CHECK_MSG(ratio > 1.0, "n/P must exceed 1 for the BSP FFT bound");
+  return n * std::log2(n) / (procs * std::log2(ratio));
+}
+
+double fast_flops(double n, double base_linear_ops) {
+  FMM_CHECK(n >= 1 && base_linear_ops >= 0);
+  const double coef = 1.0 + base_linear_ops / 3.0;
+  return coef * fpow(n, kOmega0) - (coef - 1.0) * n * n;
+}
+
+}  // namespace fmm::bounds

@@ -1,0 +1,70 @@
+// Closed-form I/O lower bounds — every row of the paper's Table I plus the
+// bounds of Theorem 1.1 / Theorem 4.1.
+//
+// All functions return the *formula value* with no hidden constants (the
+// Ω(..) argument), so callers can study shapes and ratios.  Measured I/O
+// from the simulators is expected to sit above these values times a
+// modest constant.
+#pragma once
+
+#include <cstdint>
+
+namespace fmm::bounds {
+
+/// Parameters shared by the matrix-multiplication bounds.
+struct MmParams {
+  double n = 0;  // matrix dimension (input is n x n)
+  double m = 0;  // fast-memory (cache) size per processor, in words
+  double p = 1;  // number of processors (1 = sequential model)
+};
+
+// --- Classic matrix multiplication (Table I row 1) -----------------------
+
+/// Ω((n/√M)^3 · M / P) — Hong–Kung / Irony–Toledo–Tiskin.
+double classic_memory_dependent(const MmParams& params);
+
+/// Ω(n^2 / P^{2/3}) — memory-independent (Aggarwal et al., Ballard et al.).
+double classic_memory_independent(const MmParams& params);
+
+// --- Fast matrix multiplication, 2x2 base case (Theorem 1.1) -------------
+
+/// ω0 = log2 7 by default; pass a different exponent for general bases.
+
+/// Sequential / memory-dependent: Ω((n/√M)^{ω0} · M / P).
+/// Holds with recomputation (the paper's main theorem).
+double fast_memory_dependent(const MmParams& params, double omega0);
+
+/// Memory-independent: Ω(n^2 / P^{2/ω0}).  Holds with recomputation.
+double fast_memory_independent(const MmParams& params, double omega0);
+
+/// The parallel bound of Theorem 1.1: max of the two bounds above.
+double fast_parallel_bound(const MmParams& params, double omega0);
+
+/// The processor count at which the memory-independent bound overtakes
+/// the memory-dependent one: P* = (n/√M)^{ω0} · M^{... } solved exactly:
+/// equality (n/√M)^{ω0}·M/P = n²/P^{2/ω0}.
+double parallel_crossover_p(double n, double m, double omega0);
+
+// --- Rectangular fast matrix multiplication (Table I row 5) --------------
+
+/// Ω(q^t / (P · M^{log_{mp} q - 1})) for an <m,n,p;q>-base algorithm run
+/// for t recursion levels (Ballard–Demmel–Holtz–Lipshitz–Schwartz 2012).
+double rectangular_bound(double m, double p_dim, double q, double t_levels,
+                         double cache_m, double procs);
+
+// --- FFT (Table I row 6) --------------------------------------------------
+
+/// Ω(n log n / (P log M)).
+double fft_memory_dependent(double n, double cache_m, double procs);
+
+/// Ω(n log n / (P log(n/P))).
+double fft_memory_independent(double n, double procs);
+
+// --- Arithmetic-complexity leading coefficients (Section IV) -------------
+
+/// Flop count of a recursive 2x2-base algorithm with L base linear ops,
+/// run to scalar granularity on an n x n input (n a power of two):
+/// (1 + L/3) n^{log2 7} - (L/3) n^2.
+double fast_flops(double n, double base_linear_ops);
+
+}  // namespace fmm::bounds

@@ -1,0 +1,46 @@
+#include "bounds/grigoriev.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fmm::bounds {
+
+double grigoriev_flow_mm(std::size_t n, double u, double v) {
+  const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  FMM_CHECK_MSG(u >= 0 && u <= 2 * n2, "u out of [0, 2n^2]");
+  FMM_CHECK_MSG(v >= 0 && v <= n2, "v out of [0, n^2]");
+  const double deficit = 2 * n2 - u;
+  const double flow = (v - deficit * deficit / (4 * n2)) / 2.0;
+  return std::max(0.0, flow);
+}
+
+double dominator_bound_from_flow(std::size_t n, double num_inputs,
+                                 double num_outputs) {
+  return grigoriev_flow_mm(n, num_inputs, num_outputs);
+}
+
+double undominated_inputs_bound(std::size_t n, double num_outputs,
+                                double gamma_size) {
+  const double slack = num_outputs - 2.0 * gamma_size;
+  if (slack <= 0) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(n) * std::sqrt(slack);
+}
+
+double disjoint_path_bound(std::size_t r, double z_size, double gamma_size) {
+  const double slack = z_size - 2.0 * gamma_size;
+  if (slack <= 0) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(r) * std::sqrt(slack);
+}
+
+double flow_exponent_full_input(std::size_t n, double v) {
+  // With u = 2n^2 (all inputs free) the deficit term vanishes: ω = v/2.
+  return grigoriev_flow_mm(n, 2.0 * static_cast<double>(n * n), v);
+}
+
+}  // namespace fmm::bounds

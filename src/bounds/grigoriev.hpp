@@ -1,0 +1,41 @@
+// Grigoriev information flow of matrix multiplication (Definition 2.8,
+// Lemma 3.8) and the dominator-size consequence (Lemma 3.9).
+//
+// f_{n x n} : R^{2n^2} -> R^{n^2} (square matrix multiplication) has
+// Grigoriev flow  ω_{n x n}(u, v) >= ( v - (2n^2 - u)^2 / (4 n^2) ) / 2.
+// By Lemma 3.9, any dominator set Γ of an output subset O' with respect to
+// an input subset I' in a CDAG computing f satisfies |Γ| >= ω(|I'|, |O'|).
+#pragma once
+
+#include <cstdint>
+
+namespace fmm::bounds {
+
+/// The flow lower bound of Lemma 3.8, clamped at 0.
+/// Requires 0 <= u <= 2n^2 and 0 <= v <= n^2.
+double grigoriev_flow_mm(std::size_t n, double u, double v);
+
+/// Lemma 3.9 consequence: minimum dominator cardinality implied by the
+/// flow for given available inputs/outputs.
+double dominator_bound_from_flow(std::size_t n, double num_inputs,
+                                 double num_outputs);
+
+/// Lemma 3.10's input-side consequence: for q vertex-disjoint copies of
+/// G^{n x n}, any Γ with |Γ| <= 2|O'| leaves at least
+/// 2 n sqrt(|O'| - 2|Γ|) inputs un-dominated.
+double undominated_inputs_bound(std::size_t n, double num_outputs,
+                                double gamma_size);
+
+/// Lemma 3.11 / 3.7 path bound: the number of vertex-disjoint paths from
+/// V_inp(H^{n x n}) to a set Z of sub-problem outputs avoiding Γ is at
+/// least 2 r sqrt(|Z| - 2|Γ|)  (0 when |Z| <= 2|Γ|).
+double disjoint_path_bound(std::size_t r, double z_size, double gamma_size);
+
+/// Empirical verification helper for Lemma 3.8 on the *bilinear* map: the
+/// count of distinct images of C = A*B over GF(q)-like sampling when only
+/// `u` inputs are free and `v` outputs retained is at least q^{ω(u,v)}.
+/// We verify the weaker structural fact used by the proofs: with all of A
+/// free and v outputs retained, the map has full rank v (see tests).
+double flow_exponent_full_input(std::size_t n, double v);
+
+}  // namespace fmm::bounds

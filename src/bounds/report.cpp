@@ -1,0 +1,91 @@
+#include "bounds/report.hpp"
+
+#include <sstream>
+
+#include "altbasis/alt_basis.hpp"
+#include "bounds/formulas.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::bounds {
+
+bool CertificationReport::all_pass() const {
+  if (!brent_valid) {
+    return false;
+  }
+  if (is_fast_2x2) {
+    return encoder_a.all_pass() && encoder_b.all_pass() &&
+           hopcroft_kerr.pass;
+  }
+  return true;
+}
+
+namespace {
+
+void field(std::ostringstream& oss, const char* name, bool value,
+           bool trailing_comma = true) {
+  oss << "  \"" << name << "\": " << (value ? "true" : "false")
+      << (trailing_comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+std::string CertificationReport::to_json() const {
+  std::ostringstream oss;
+  oss << "{\n";
+  oss << "  \"algorithm\": \"" << algorithm << "\",\n";
+  field(oss, "brent_valid", brent_valid);
+  field(oss, "is_fast_2x2", is_fast_2x2);
+  if (is_fast_2x2) {
+    field(oss, "lemma31_matching_a", encoder_a.lemma31_matching);
+    field(oss, "lemma32_degrees_a", encoder_a.lemma32_degrees);
+    field(oss, "lemma32_pairs_a", encoder_a.lemma32_pairs);
+    field(oss, "lemma33_distinct_a", encoder_a.lemma33_distinct);
+    field(oss, "lemma31_matching_b", encoder_b.lemma31_matching);
+    field(oss, "lemma32_degrees_b", encoder_b.lemma32_degrees);
+    field(oss, "lemma32_pairs_b", encoder_b.lemma32_pairs);
+    field(oss, "lemma33_distinct_b", encoder_b.lemma33_distinct);
+    field(oss, "hopcroft_kerr", hopcroft_kerr.pass);
+    oss << "  \"lemma31_min_slack_a\": " << encoder_a.min_matching_slack
+        << ",\n";
+  }
+  oss << "  \"base_linear_ops\": " << base_linear_ops << ",\n";
+  oss << "  \"alt_basis_linear_ops\": " << alt_basis_linear_ops << ",\n";
+  oss << "  \"leading_coefficient\": " << leading_coefficient << ",\n";
+  oss << "  \"omega\": " << omega << ",\n";
+  oss << "  \"reference_bound_n4096_m4096\": " << reference_bound << ",\n";
+  field(oss, "all_pass", all_pass(), /*trailing_comma=*/false);
+  oss << "}\n";
+  return oss.str();
+}
+
+CertificationReport certify_algorithm(
+    const bilinear::BilinearAlgorithm& algorithm) {
+  CertificationReport report;
+  report.algorithm = algorithm.name();
+  report.brent_valid = algorithm.is_valid();
+  report.is_fast_2x2 = algorithm.n() == 2 && algorithm.m() == 2 &&
+                       algorithm.p() == 2 && algorithm.num_products() == 7;
+  if (report.is_fast_2x2) {
+    report.encoder_a = certify_encoder(algorithm, bilinear::Side::kA);
+    report.encoder_b = certify_encoder(algorithm, bilinear::Side::kB);
+    report.hopcroft_kerr = certify_hopcroft_kerr(algorithm);
+  }
+  report.base_linear_ops = algorithm.base_linear_ops();
+  if (algorithm.is_square()) {
+    report.omega = algorithm.omega();
+    if (algorithm.num_products() > algorithm.n() * algorithm.p()) {
+      report.leading_coefficient = algorithm.leading_coefficient();
+    }
+    if (report.brent_valid) {
+      // The alternative-basis certification presupposes a valid
+      // algorithm; skip it (ops stay 0) for invalid input.
+      const auto ab = altbasis::make_alternative_basis(algorithm);
+      report.alt_basis_linear_ops = ab.base_linear_ops;
+    }
+    report.reference_bound =
+        fast_memory_dependent({4096, 4096, 1}, report.omega);
+  }
+  return report;
+}
+
+}  // namespace fmm::bounds

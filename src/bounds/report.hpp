@@ -1,0 +1,44 @@
+// Machine-readable certification reports.
+//
+// Bundles every check the library can run on one algorithm — Brent
+// validity, the Section III encoder lemmas, Hopcroft–Kerr usage,
+// alternative-basis statistics, and reference bound values — into a
+// single structure with a JSON rendering, so CI pipelines and notebooks
+// can consume certification results without parsing console text.
+#pragma once
+
+#include <string>
+
+#include "bilinear/algorithm.hpp"
+#include "bounds/encoder_lemmas.hpp"
+
+namespace fmm::bounds {
+
+struct CertificationReport {
+  std::string algorithm;
+  bool brent_valid = false;
+  bool is_fast_2x2 = false;  // 2x2 base with 7 products
+  EncoderCertificate encoder_a;
+  EncoderCertificate encoder_b;
+  HopcroftKerrCertificate hopcroft_kerr;
+  std::size_t base_linear_ops = 0;
+  std::size_t alt_basis_linear_ops = 0;  // 0 if not applicable
+  double leading_coefficient = 0.0;
+  double omega = 0.0;
+  /// Sequential bound at the reference point (n = 4096, M = 4096).
+  double reference_bound = 0.0;
+
+  /// True iff every applicable check passed.
+  bool all_pass() const;
+
+  /// JSON rendering (one object; stable field order).
+  std::string to_json() const;
+};
+
+/// Runs the full certification pipeline on `algorithm`.  Lemma checks
+/// run only for 2x2-base algorithms; the alternative-basis search only
+/// for square bases.
+CertificationReport certify_algorithm(
+    const bilinear::BilinearAlgorithm& algorithm);
+
+}  // namespace fmm::bounds

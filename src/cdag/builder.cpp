@@ -1,0 +1,181 @@
+#include "cdag/builder.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::cdag {
+
+namespace {
+
+using bilinear::BilinearAlgorithm;
+using graph::VertexId;
+
+class Builder {
+ public:
+  Builder(const BilinearAlgorithm& algorithm, std::size_t n)
+      : alg_(algorithm), n_(n) {
+    FMM_CHECK_MSG(alg_.is_square(), "CDAG builder requires a square base");
+    const std::size_t base = alg_.n();
+    FMM_CHECK(base >= 2);
+    std::size_t d = n_;
+    while (d > 1) {
+      FMM_CHECK_MSG(d % base == 0,
+                    "n=" << n_ << " is not a power of base " << base);
+      d /= base;
+    }
+  }
+
+  Cdag build() {
+    cdag_.n = n_;
+    cdag_.base = alg_.n();
+    cdag_.num_products = alg_.num_products();
+    cdag_.algorithm_name = alg_.name();
+
+    cdag_.inputs_a = add_vertices(n_ * n_, Role::kInputA);
+    cdag_.inputs_b = add_vertices(n_ * n_, Role::kInputB);
+
+    cdag_.outputs = build_product(n_, cdag_.inputs_a, cdag_.inputs_b);
+    for (const VertexId v : cdag_.outputs) {
+      cdag_.roles[v] = Role::kOutput;
+    }
+    return std::move(cdag_);
+  }
+
+ private:
+  std::vector<VertexId> add_vertices(std::size_t count, Role role) {
+    const VertexId first = cdag_.graph.add_vertices(count);
+    cdag_.roles.resize(cdag_.roles.size() + count, role);
+    std::vector<VertexId> ids(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ids[i] = first + static_cast<VertexId>(i);
+    }
+    return ids;
+  }
+
+  /// Element index of block (bi, bj), element (ei, ej) in an s x s
+  /// row-major matrix split into base x base blocks of size sub.
+  static std::size_t blocked_index(std::size_t s, std::size_t sub,
+                                   std::size_t bi, std::size_t bj,
+                                   std::size_t ei, std::size_t ej) {
+    return (bi * sub + ei) * s + (bj * sub + ej);
+  }
+
+  /// Encodes one operand side: for each product r, creates sub^2 vertices,
+  /// each combining the support blocks of row r of `coeff`.
+  std::vector<std::vector<VertexId>> encode(
+      const bilinear::IntMat& coeff, const std::vector<VertexId>& elems,
+      std::size_t s, Role role) {
+    const std::size_t base = alg_.n();
+    const std::size_t sub = s / base;
+    std::vector<std::vector<VertexId>> encoded(alg_.num_products());
+    for (std::size_t r = 0; r < alg_.num_products(); ++r) {
+      encoded[r] = add_vertices(sub * sub, role);
+      for (std::size_t q = 0; q < base * base; ++q) {
+        if (coeff.at(r, q) == 0) {
+          continue;
+        }
+        const std::size_t bi = q / base;
+        const std::size_t bj = q % base;
+        for (std::size_t ei = 0; ei < sub; ++ei) {
+          for (std::size_t ej = 0; ej < sub; ++ej) {
+            cdag_.graph.add_edge(
+                elems[blocked_index(s, sub, bi, bj, ei, ej)],
+                encoded[r][ei * sub + ej]);
+          }
+        }
+      }
+    }
+    return encoded;
+  }
+
+  std::vector<VertexId> build_product(std::size_t s,
+                                      const std::vector<VertexId>& a,
+                                      const std::vector<VertexId>& b) {
+    FMM_CHECK(a.size() == s * s && b.size() == s * s);
+    {
+      std::vector<VertexId> operand_ids = a;
+      operand_ids.insert(operand_ids.end(), b.begin(), b.end());
+      cdag_.subproblem_inputs[s].push_back(std::move(operand_ids));
+    }
+    if (s == 1) {
+      const auto begin = static_cast<VertexId>(cdag_.graph.num_vertices());
+      const std::vector<VertexId> v = add_vertices(1, Role::kProduct);
+      cdag_.graph.add_edge(a[0], v[0]);
+      cdag_.graph.add_edge(b[0], v[0]);
+      cdag_.subproblem_outputs[1].push_back(v);
+      cdag_.subproblem_spans[1].emplace_back(
+          begin, static_cast<VertexId>(cdag_.graph.num_vertices()));
+      return v;
+    }
+
+    const std::size_t base = alg_.n();
+    const std::size_t sub = s / base;
+    const auto span_begin = static_cast<VertexId>(cdag_.graph.num_vertices());
+
+    const auto a_tilde = encode(alg_.u(), a, s, Role::kEncodeA);
+    const auto b_tilde = encode(alg_.v(), b, s, Role::kEncodeB);
+
+    std::vector<std::vector<VertexId>> products(alg_.num_products());
+    for (std::size_t r = 0; r < alg_.num_products(); ++r) {
+      products[r] = build_product(sub, a_tilde[r], b_tilde[r]);
+    }
+
+    // Decode: output element (i, j) of quadrant q combines products'
+    // outputs at the same element position.
+    std::vector<VertexId> outputs(s * s, graph::kNoVertex);
+    for (std::size_t q = 0; q < base * base; ++q) {
+      const std::size_t bi = q / base;
+      const std::size_t bj = q % base;
+      const std::vector<VertexId> block = add_vertices(sub * sub,
+                                                       Role::kDecode);
+      for (std::size_t r = 0; r < alg_.num_products(); ++r) {
+        if (alg_.w().at(q, r) == 0) {
+          continue;
+        }
+        for (std::size_t e = 0; e < sub * sub; ++e) {
+          cdag_.graph.add_edge(products[r][e], block[e]);
+        }
+      }
+      for (std::size_t ei = 0; ei < sub; ++ei) {
+        for (std::size_t ej = 0; ej < sub; ++ej) {
+          outputs[blocked_index(s, sub, bi, bj, ei, ej)] =
+              block[ei * sub + ej];
+        }
+      }
+    }
+
+    cdag_.subproblem_outputs[s].push_back(outputs);
+    cdag_.subproblem_spans[s].emplace_back(
+        span_begin, static_cast<VertexId>(cdag_.graph.num_vertices()));
+    return outputs;
+  }
+
+  const BilinearAlgorithm& alg_;
+  std::size_t n_;
+  Cdag cdag_;
+};
+
+}  // namespace
+
+Cdag build_cdag(const bilinear::BilinearAlgorithm& algorithm, std::size_t n) {
+  return Builder(algorithm, n).build();
+}
+
+std::size_t expected_sub_output_count(
+    const bilinear::BilinearAlgorithm& algorithm, std::size_t n,
+    std::size_t r) {
+  FMM_CHECK(algorithm.is_square() && n % r == 0);
+  const std::size_t base = algorithm.n();
+  std::size_t ratio = n / r;
+  std::int64_t count = 1;
+  while (ratio > 1) {
+    FMM_CHECK(ratio % base == 0);
+    ratio /= base;
+    count = imul_checked(count,
+                         static_cast<std::int64_t>(algorithm.num_products()));
+  }
+  return static_cast<std::size_t>(
+      imul_checked(count, static_cast<std::int64_t>(r * r)));
+}
+
+}  // namespace fmm::cdag

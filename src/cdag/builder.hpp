@@ -1,0 +1,31 @@
+// Recursive CDAG construction for square-base bilinear algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "bilinear/algorithm.hpp"
+#include "cdag/cdag.hpp"
+
+namespace fmm::cdag {
+
+/// Builds H^{n x n} for the given square-base algorithm, expanded to
+/// scalar granularity.  `n` must be a power of the base size.
+///
+/// Structure per recursion level (size s -> s/b):
+///   - one EncodeA vertex per element of each of the t encoded A-operands
+///     (even when the encoder row is a singleton, matching the
+///     Bilardi–De Stefani CDAG where each product's operand is a distinct
+///     vertex),
+///   - symmetrically EncodeB,
+///   - a recursive sub-CDAG per product,
+///   - one Decode vertex per element of each output quadrant.
+/// Every r x r sub-problem's r^2 output vertices are registered in
+/// Cdag::subproblem_outputs.
+Cdag build_cdag(const bilinear::BilinearAlgorithm& algorithm, std::size_t n);
+
+/// |V_out(SUB_H^{r x r})| predicted by Lemma 2.2: (n/r)^{log_b t} * r^2.
+std::size_t expected_sub_output_count(
+    const bilinear::BilinearAlgorithm& algorithm, std::size_t n,
+    std::size_t r);
+
+}  // namespace fmm::cdag

@@ -1,0 +1,132 @@
+#include "cdag/cdag.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::cdag {
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kInputA:
+      return "inA";
+    case Role::kInputB:
+      return "inB";
+    case Role::kEncodeA:
+      return "encA";
+    case Role::kEncodeB:
+      return "encB";
+    case Role::kProduct:
+      return "mul";
+    case Role::kDecode:
+      return "dec";
+    case Role::kOutput:
+      return "out";
+  }
+  return "?";
+}
+
+std::vector<graph::VertexId> Cdag::all_inputs() const {
+  std::vector<graph::VertexId> result = inputs_a;
+  result.insert(result.end(), inputs_b.begin(), inputs_b.end());
+  return result;
+}
+
+std::vector<graph::VertexId> Cdag::sub_outputs_flat(std::size_t r) const {
+  const auto it = subproblem_outputs.find(r);
+  FMM_CHECK_MSG(it != subproblem_outputs.end(),
+                "no sub-problems of size " << r << " tracked for n=" << n);
+  std::vector<graph::VertexId> flat;
+  for (const auto& sub : it->second) {
+    flat.insert(flat.end(), sub.begin(), sub.end());
+  }
+  return flat;
+}
+
+std::vector<graph::VertexId> Cdag::sub_internal_vertices(std::size_t r) const {
+  const auto span_it = subproblem_spans.find(r);
+  FMM_CHECK_MSG(span_it != subproblem_spans.end(),
+                "no sub-problem spans of size " << r);
+  std::vector<bool> is_output(graph.num_vertices(), false);
+  for (const graph::VertexId v : sub_outputs_flat(r)) {
+    is_output[v] = true;
+  }
+  std::vector<graph::VertexId> internal;
+  for (const auto& [begin, end] : span_it->second) {
+    for (graph::VertexId v = begin; v < end; ++v) {
+      if (!is_output[v]) {
+        internal.push_back(v);
+      }
+    }
+  }
+  return internal;
+}
+
+std::map<Role, std::size_t> Cdag::role_histogram() const {
+  std::map<Role, std::size_t> hist;
+  for (const Role role : roles) {
+    ++hist[role];
+  }
+  return hist;
+}
+
+std::string Cdag::to_dot() const {
+  std::vector<std::string> labels(roles.size());
+  for (std::size_t v = 0; v < roles.size(); ++v) {
+    std::ostringstream oss;
+    oss << role_name(roles[v]) << v;
+    labels[v] = oss.str();
+  }
+  return graph.to_dot(labels);
+}
+
+void Cdag::validate() const {
+  FMM_CHECK(graph.num_vertices() == roles.size());
+  FMM_CHECK(graph.is_dag());
+  FMM_CHECK(inputs_a.size() == n * n);
+  FMM_CHECK(inputs_b.size() == n * n);
+  FMM_CHECK(outputs.size() == n * n);
+
+  for (const graph::VertexId v : inputs_a) {
+    FMM_CHECK(roles[v] == Role::kInputA && graph.in_degree(v) == 0);
+  }
+  for (const graph::VertexId v : inputs_b) {
+    FMM_CHECK(roles[v] == Role::kInputB && graph.in_degree(v) == 0);
+  }
+  for (const graph::VertexId v : outputs) {
+    FMM_CHECK(roles[v] == Role::kOutput && graph.out_degree(v) == 0);
+  }
+  // Every product vertex multiplies exactly two operands.
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (roles[v] == Role::kProduct) {
+      FMM_CHECK_MSG(graph.in_degree(v) == 2,
+                    "product vertex " << v << " has in-degree "
+                                      << graph.in_degree(v));
+    }
+  }
+
+  // Lemma 2.2: |V_out(SUB_H^{r x r})| = (n/r)^{log_b t} * r^2, i.e. the
+  // number of r x r sub-problems is t^{log_b(n/r)}.
+  for (const auto& [r, subs] : subproblem_outputs) {
+    FMM_CHECK(n % r == 0);
+    // levels = log_base(n / r), computed exactly by repeated division.
+    int levels = 0;
+    for (std::size_t ratio = n / r; ratio > 1; ratio /= base) {
+      FMM_CHECK(ratio % base == 0);
+      ++levels;
+    }
+    const auto expected =
+        static_cast<std::size_t>(ipow_checked(
+            static_cast<std::int64_t>(num_products), levels));
+    FMM_CHECK_MSG(subs.size() == expected,
+                  "size-" << r << " sub-problem count " << subs.size()
+                          << " != " << expected);
+    for (const auto& sub : subs) {
+      FMM_CHECK(sub.size() == r * r);
+    }
+  }
+}
+
+}  // namespace fmm::cdag

@@ -1,0 +1,100 @@
+// Computational DAGs of recursive bilinear algorithms (Definition 2.1).
+//
+// H^{n x n} is the CDAG of a (square-base) fast matrix multiplication
+// algorithm run to scalar granularity on n x n inputs: 2n^2 input
+// vertices, encoder vertices forming the operand combinations of each of
+// the t products at every recursion level, and decoder vertices down to
+// the n^2 outputs.  Every multiplication sub-problem of size r x r is
+// tracked so that V_out(SUB_H^{r x r}) — the output vertices of all
+// (n/r)^{log_b t} intermediate r x r products (Lemma 2.2) — can be
+// enumerated exactly; these sets drive the dominator-set certification of
+// Lemmas 3.6/3.7 and the segment analysis of Theorem 1.1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace fmm::cdag {
+
+/// Role of a CDAG vertex in the three-phase structure of Section II.
+enum class Role : std::uint8_t {
+  kInputA,    // element of the input matrix A
+  kInputB,    // element of the input matrix B
+  kEncodeA,   // encoder combination of A-side operands
+  kEncodeB,   // encoder combination of B-side operands
+  kProduct,   // scalar multiplication vertex (leaf of the recursion)
+  kDecode,    // decoder combination (internal)
+  kOutput,    // element of the output matrix C
+};
+
+/// Human-readable role name.
+const char* role_name(Role role);
+
+/// A CDAG with the metadata needed by the paper's machinery.
+struct Cdag {
+  graph::Digraph graph;
+  std::vector<Role> roles;
+
+  /// n of the H^{n x n} this CDAG represents.
+  std::size_t n = 0;
+  /// Base size b of the generating algorithm (2 for Strassen-like).
+  std::size_t base = 0;
+  /// Number of base-case products t (7 for Strassen-like).
+  std::size_t num_products = 0;
+  /// Name of the generating algorithm.
+  std::string algorithm_name;
+
+  std::vector<graph::VertexId> inputs_a;
+  std::vector<graph::VertexId> inputs_b;
+  std::vector<graph::VertexId> outputs;
+
+  /// For each sub-problem size r (a power of `base` dividing n, including
+  /// r = n itself): the list of sub-problems at that size, each given by
+  /// its r^2 output vertex ids.  subproblem_outputs.at(r).size() ==
+  /// t^{log_base(n/r)} (Lemma 2.2's counting).
+  std::map<std::size_t, std::vector<std::vector<graph::VertexId>>>
+      subproblem_outputs;
+
+  /// For each sub-problem size r: the list of sub-problems at that size,
+  /// each given by its 2 r^2 input (operand) vertex ids — the encoded
+  /// A-operand elements followed by the encoded B-operand elements.  For
+  /// r = n these are the CDAG inputs themselves.  This is
+  /// V_inp(SUB_H^{r x r}), the set Lemma 3.11's Y lives in.
+  std::map<std::size_t, std::vector<std::vector<graph::VertexId>>>
+      subproblem_inputs;
+
+  /// For each sub-problem size r: the contiguous vertex-id interval
+  /// [begin, end) created while building each r x r sub-problem.  Because
+  /// construction is strictly nested, each sub-CDAG occupies one interval;
+  /// these define V(SUB_H^{r x r}) for Lemma 3.11's Γ ⊆ V_int sampling.
+  std::map<std::size_t,
+           std::vector<std::pair<graph::VertexId, graph::VertexId>>>
+      subproblem_spans;
+
+  /// V_inp(H^{n x n}) = inputs_a ∪ inputs_b.
+  std::vector<graph::VertexId> all_inputs() const;
+
+  /// V_out(SUB_H^{r x r}) flattened: all output vertices of all r x r
+  /// sub-problems (Lemma 2.2: (n/r)^{log_b t} * r^2 vertices).
+  std::vector<graph::VertexId> sub_outputs_flat(std::size_t r) const;
+
+  /// V_int(SUB_H^{r x r}): all vertices belonging to r x r sub-CDAGs
+  /// except their output vertices (the set Lemma 3.11 draws Γ from).
+  std::vector<graph::VertexId> sub_internal_vertices(std::size_t r) const;
+
+  /// Count of vertices per role.
+  std::map<Role, std::size_t> role_histogram() const;
+
+  /// DOT rendering with role-labelled vertices (small CDAGs only).
+  std::string to_dot() const;
+
+  /// Structural sanity checks: acyclicity, role-consistent degrees,
+  /// Lemma 2.2 cardinalities.  Throws CheckError on violation.
+  void validate() const;
+};
+
+}  // namespace fmm::cdag

@@ -1,0 +1,89 @@
+#include "cdag/json_export.hpp"
+
+#include <sstream>
+
+namespace fmm::cdag {
+
+namespace {
+
+void append_id_array(std::ostringstream& oss,
+                     const std::vector<graph::VertexId>& ids) {
+  oss << '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) {
+      oss << ',';
+    }
+    oss << ids[i];
+  }
+  oss << ']';
+}
+
+}  // namespace
+
+std::string to_json(const Cdag& cdag) {
+  std::ostringstream oss;
+  oss << "{\n";
+  oss << "  \"algorithm\": \"" << cdag.algorithm_name << "\",\n";
+  oss << "  \"n\": " << cdag.n << ",\n";
+  oss << "  \"base\": " << cdag.base << ",\n";
+  oss << "  \"products\": " << cdag.num_products << ",\n";
+
+  oss << "  \"vertices\": [";
+  for (graph::VertexId v = 0; v < cdag.graph.num_vertices(); ++v) {
+    if (v != 0) {
+      oss << ',';
+    }
+    oss << "{\"id\":" << v << ",\"role\":\"" << role_name(cdag.roles[v])
+        << "\"}";
+  }
+  oss << "],\n";
+
+  oss << "  \"edges\": [";
+  bool first_edge = true;
+  for (graph::VertexId v = 0; v < cdag.graph.num_vertices(); ++v) {
+    for (const graph::VertexId w : cdag.graph.out_neighbors(v)) {
+      if (!first_edge) {
+        oss << ',';
+      }
+      first_edge = false;
+      oss << '[' << v << ',' << w << ']';
+    }
+  }
+  oss << "],\n";
+
+  oss << "  \"inputs_a\": ";
+  append_id_array(oss, cdag.inputs_a);
+  oss << ",\n  \"inputs_b\": ";
+  append_id_array(oss, cdag.inputs_b);
+  oss << ",\n  \"outputs\": ";
+  append_id_array(oss, cdag.outputs);
+
+  oss << ",\n  \"subproblems\": {";
+  bool first_size = true;
+  for (const auto& [r, subs] : cdag.subproblem_outputs) {
+    if (!first_size) {
+      oss << ',';
+    }
+    first_size = false;
+    oss << "\n    \"" << r << "\": [";
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (i != 0) {
+        oss << ',';
+      }
+      oss << "{\"outputs\":";
+      append_id_array(oss, subs[i]);
+      const auto in_it = cdag.subproblem_inputs.find(r);
+      if (in_it != cdag.subproblem_inputs.end() &&
+          i < in_it->second.size()) {
+        oss << ",\"inputs\":";
+        append_id_array(oss, in_it->second[i]);
+      }
+      oss << '}';
+    }
+    oss << ']';
+  }
+  oss << "\n  }\n}\n";
+  return oss.str();
+}
+
+}  // namespace fmm::cdag

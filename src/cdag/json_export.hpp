@@ -1,0 +1,22 @@
+// JSON serialization of CDAGs for external tooling (plotting, graph
+// viewers, downstream analysis).
+#pragma once
+
+#include <string>
+
+#include "cdag/cdag.hpp"
+
+namespace fmm::cdag {
+
+/// Serializes the CDAG to a self-contained JSON document:
+/// {
+///   "algorithm": "...", "n": 4, "base": 2, "products": 7,
+///   "vertices": [{"id": 0, "role": "inA"}, ...],
+///   "edges": [[u, v], ...],
+///   "subproblems": {"2": [{"outputs": [...], "inputs": [...]}, ...]}
+/// }
+/// Intended for small/medium CDAGs (n <= 32; the n = 64 document is
+/// ~40 MB).
+std::string to_json(const Cdag& cdag);
+
+}  // namespace fmm::cdag

@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+namespace fmm::detail {
+
+void throw_check_error(std::string_view condition, std::string_view file,
+                       int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << "FMM_CHECK failed: (" << condition << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace fmm::detail

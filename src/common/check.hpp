@@ -1,0 +1,49 @@
+// Error-handling primitives shared by every fmm module.
+//
+// The library is used both as an analysis tool (where a violated invariant
+// means the *theory* was contradicted and we must stop loudly) and inside
+// long-running benchmark sweeps (where we want precise diagnostics).  All
+// invariant failures therefore throw `fmm::CheckError` with file/line
+// context rather than calling `abort()`.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fmm {
+
+/// Exception thrown when a library invariant or precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_error(std::string_view condition,
+                                    std::string_view file, int line,
+                                    const std::string& message);
+}  // namespace detail
+
+}  // namespace fmm
+
+/// Precondition / invariant check.  Always enabled (the library's value is
+/// correctness certification; silent UB would defeat the purpose).
+#define FMM_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::fmm::detail::throw_check_error(#cond, __FILE__, __LINE__, "");     \
+    }                                                                      \
+  } while (false)
+
+/// Check with a streamed message: FMM_CHECK_MSG(x > 0, "x=" << x).
+#define FMM_CHECK_MSG(cond, stream_expr)                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream fmm_check_oss_;                                   \
+      fmm_check_oss_ << stream_expr;                                       \
+      ::fmm::detail::throw_check_error(#cond, __FILE__, __LINE__,          \
+                                       fmm_check_oss_.str());              \
+    }                                                                      \
+  } while (false)

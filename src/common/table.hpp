@@ -1,0 +1,62 @@
+// Tabular output used by the benchmark harness to regenerate the paper's
+// Table I and the measured-vs-bound series.  Supports aligned console
+// output, GitHub-flavored markdown, and CSV (for downstream plotting).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fmm {
+
+/// A simple column-oriented table: header row plus string cells.
+/// Numeric convenience overloads format with stable precision so benchmark
+/// output diffs cleanly between runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t num_columns() const { return header_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Begins a new row; subsequent add_cell calls fill it left to right.
+  void begin_row();
+
+  void add_cell(std::string value);
+  void add_cell(const char* value);
+  void add_cell(std::int64_t value);
+  void add_cell(std::uint64_t value);
+  void add_cell(int value);
+  /// Doubles are formatted with %.4g (compact, stable).
+  void add_cell(double value);
+
+  /// Adds a complete row at once (must match column count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with padded columns and a separator under the header.
+  void print_console(std::ostream& os) const;
+
+  /// Renders as GitHub-flavored markdown.
+  void print_markdown(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180 quoting for cells containing , " or newline).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`, creating/truncating the file.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  void check_row_complete() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like "%.4g" (used by Table and by bench output).
+std::string format_double(double value);
+
+/// Formats a ratio as e.g. "1.73x".
+std::string format_ratio(double value);
+
+}  // namespace fmm

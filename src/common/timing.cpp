@@ -1,0 +1,2 @@
+// timing.hpp is header-only; this TU anchors the library target.
+#include "common/timing.hpp"

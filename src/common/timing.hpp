@@ -1,0 +1,34 @@
+// Lightweight wall-clock timing for examples and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fmm {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction / last reset.
+  std::int64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fmm

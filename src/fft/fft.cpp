@@ -1,0 +1,101 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::fft {
+
+namespace {
+
+void bit_reverse_permute(std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+}
+
+void fft_core(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  FMM_CHECK_MSG(is_pow2(n), "FFT size must be a power of two, got " << n);
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = data[i + k];
+        const Complex odd = data[i + k + len / 2] * w;
+        data[i + k] = even + odd;
+        data[i + k + len / 2] = even - odd;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<Complex>& data) { fft_core(data, false); }
+
+void ifft_inplace(std::vector<Complex>& data) {
+  fft_core(data, true);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (Complex& x : data) {
+    x *= scale;
+  }
+}
+
+std::vector<Complex> dft_naive(const std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      sum += data[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::int64_t fft_flops(std::size_t n) {
+  FMM_CHECK(is_pow2(n));
+  const auto log_n = static_cast<std::int64_t>(ilog2_floor(n));
+  // (n/2) log2(n) butterflies; each costs 1 complex multiplication
+  // (6 real flops) + 2 complex additions (4 real flops).
+  return static_cast<std::int64_t>(n / 2) * log_n * 10;
+}
+
+std::vector<Complex> convolve(const std::vector<Complex>& a,
+                              const std::vector<Complex>& b) {
+  FMM_CHECK_MSG(a.size() == b.size() && is_pow2(a.size()),
+                "convolve requires equal power-of-two sizes");
+  std::vector<Complex> fa = a;
+  std::vector<Complex> fb = b;
+  fft_inplace(fa);
+  fft_inplace(fb);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    fa[i] *= fb[i];
+  }
+  ifft_inplace(fa);
+  return fa;
+}
+
+}  // namespace fmm::fft

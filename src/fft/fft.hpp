@@ -1,0 +1,35 @@
+// Radix-2 fast Fourier transform.
+//
+// The FFT appears in the paper's Table I as the other major CDAG family
+// whose recomputation-robust lower bounds are known (Bilardi–Scquizzato–
+// Silvestri).  We implement the transform itself (the substrate), its
+// butterfly CDAG (fft_cdag.hpp), and a blocked out-of-core execution
+// whose measured I/O the bench compares with the Table I formulas.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace fmm::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT; size must be a power of 2.
+void fft_inplace(std::vector<Complex>& data);
+
+/// Inverse FFT (normalized by 1/n).
+void ifft_inplace(std::vector<Complex>& data);
+
+/// O(n^2) reference DFT for testing.
+std::vector<Complex> dft_naive(const std::vector<Complex>& data);
+
+/// Exact arithmetic-operation count of fft_inplace: (n/2) log2 n butterfly
+/// stages, each 1 complex mult + 2 complex adds.
+std::int64_t fft_flops(std::size_t n);
+
+/// Circular convolution via FFT (an application-level example user).
+std::vector<Complex> convolve(const std::vector<Complex>& a,
+                              const std::vector<Complex>& b);
+
+}  // namespace fmm::fft

@@ -1,0 +1,56 @@
+#include "fft/fft_cdag.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::fft {
+
+void FftCdag::validate() const {
+  const std::size_t levels = static_cast<std::size_t>(ilog2_floor(n));
+  FMM_CHECK(graph.num_vertices() == n * (levels + 1));
+  FMM_CHECK(inputs.size() == n && outputs.size() == n);
+  FMM_CHECK(graph.is_dag());
+  for (const graph::VertexId v : inputs) {
+    FMM_CHECK(graph.in_degree(v) == 0);
+  }
+  for (const graph::VertexId v : outputs) {
+    FMM_CHECK(graph.out_degree(v) == 0);
+    FMM_CHECK(n == 1 || graph.in_degree(v) == 2);
+  }
+}
+
+FftCdag build_fft_cdag(std::size_t n) {
+  FMM_CHECK_MSG(is_pow2(n), "FFT CDAG size must be a power of two");
+  FftCdag cdag;
+  cdag.n = n;
+  const std::size_t levels = static_cast<std::size_t>(ilog2_floor(n));
+
+  // Vertex id of (level, position).
+  auto vid = [n](std::size_t level, std::size_t pos) {
+    return static_cast<graph::VertexId>(level * n + pos);
+  };
+
+  cdag.graph = graph::Digraph(n * (levels + 1));
+  cdag.level_of.resize(n * (levels + 1));
+  for (std::size_t l = 0; l <= levels; ++l) {
+    for (std::size_t i = 0; i < n; ++i) {
+      cdag.level_of[vid(l, i)] = l;
+    }
+  }
+
+  for (std::size_t l = 1; l <= levels; ++l) {
+    const std::size_t half = std::size_t{1} << (l - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      cdag.graph.add_edge(vid(l - 1, i), vid(l, i));
+      cdag.graph.add_edge(vid(l - 1, i ^ half), vid(l, i));
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    cdag.inputs.push_back(vid(0, i));
+    cdag.outputs.push_back(vid(levels, i));
+  }
+  return cdag;
+}
+
+}  // namespace fmm::fft

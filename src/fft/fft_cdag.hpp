@@ -1,0 +1,34 @@
+// The FFT butterfly CDAG (n inputs, log2(n) levels, n outputs).
+//
+// Used to contrast CDAG structure with the matrix-multiplication CDAGs:
+// the FFT graph has constant in-degree 2 everywhere and (n/2) log n
+// internal 2-in-2-out butterflies.  Its dominator structure differs from
+// H^{n x n}; tests exercise the generic graph machinery (dominators,
+// disjoint paths) on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace fmm::fft {
+
+struct FftCdag {
+  graph::Digraph graph;
+  std::vector<graph::VertexId> inputs;
+  std::vector<graph::VertexId> outputs;
+  /// level_of[v]: 0 for inputs, k after the k-th butterfly stage.
+  std::vector<std::size_t> level_of;
+  std::size_t n = 0;
+
+  /// Total vertices should be n * (log2(n) + 1).
+  void validate() const;
+};
+
+/// Builds the radix-2 butterfly DAG on `n` points (n a power of two).
+/// Vertex (level l, position i) depends on (l-1, i) and (l-1, i ^ 2^{l-1})
+/// — the iterative (bit-reversed input) dataflow.
+FftCdag build_fft_cdag(std::size_t n);
+
+}  // namespace fmm::fft

@@ -1,0 +1,31 @@
+// Blocked (out-of-core) FFT execution with exact I/O counting.
+//
+// The classical two-level algorithm (Bailey's four-step / Aggarwal–Vitter
+// style): an n-point FFT with fast memory M is computed by splitting
+// n = n1 * n2, doing n2 column FFTs of size n1 (each fits in M), a
+// twiddle scaling, and n1 row FFTs of size n2 — recursing when a factor
+// still exceeds M.  Total I/O is Θ(n log n / log M), matching Table I's
+// FFT row up to constants; the bench compares measured counts with the
+// formula.
+#pragma once
+
+#include <cstdint>
+
+namespace fmm::fft {
+
+struct FftIoResult {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  /// Number of full passes over the data set (each pass reads and writes
+  /// every element once).
+  std::int64_t passes = 0;
+
+  std::int64_t total() const { return reads + writes; }
+};
+
+/// Exact I/O count of the recursive four-step algorithm on an n-point FFT
+/// with fast memory of `m` complex words.  n and m must be powers of two,
+/// m >= 4.
+FftIoResult blocked_fft_io(std::int64_t n, std::int64_t m);
+
+}  // namespace fmm::fft

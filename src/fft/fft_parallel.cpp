@@ -1,0 +1,67 @@
+#include "fft/fft_parallel.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::fft {
+
+namespace {
+
+void check_args(std::int64_t n, std::int64_t procs) {
+  FMM_CHECK(n >= 2 && procs >= 1);
+  FMM_CHECK_MSG(is_pow2(static_cast<std::uint64_t>(n)) &&
+                    is_pow2(static_cast<std::uint64_t>(procs)),
+                "n and P must be powers of two");
+  FMM_CHECK_MSG(procs <= n, "P must not exceed n");
+}
+
+}  // namespace
+
+ParallelFftResult fft_parallel_binary_exchange(std::int64_t n,
+                                               std::int64_t procs) {
+  check_args(n, procs);
+  ParallelFftResult result;
+  if (procs == 1) {
+    return result;
+  }
+  const int log_n = ilog2_floor(static_cast<std::uint64_t>(n));
+  const int log_p = ilog2_floor(static_cast<std::uint64_t>(procs));
+  const std::int64_t local = n / procs;
+  // Cyclic layout owner(i) = i mod P: a stage with stride 2^{b} pairs i
+  // with i ^ 2^{b}; for b < log2(P) the partner lives on another
+  // processor (owner differs in bit b), so each processor exchanges its
+  // whole local slice; for b >= log2(P) the stage is local.
+  for (int b = 0; b < log_n; ++b) {
+    if (b < log_p) {
+      result.words_per_proc += 2 * local;  // send + receive the slice
+      ++result.comm_stages;
+    }
+  }
+  return result;
+}
+
+ParallelFftResult fft_parallel_transpose(std::int64_t n,
+                                         std::int64_t procs) {
+  check_args(n, procs);
+  ParallelFftResult result;
+  if (procs == 1) {
+    return result;
+  }
+  const std::int64_t local = n / procs;
+  FMM_CHECK_MSG(local >= 2,
+                "transpose method needs at least 2 points per processor");
+  // Recursive four-step with fast memory M = n/P: each recursion level
+  // whose sub-FFT still exceeds the local size costs one all-to-all
+  // transpose (each processor sends and receives its slice).
+  std::int64_t remaining = n;
+  while (remaining > local) {
+    result.words_per_proc += 2 * local;
+    ++result.comm_stages;
+    // Balanced split: the larger factor continues.
+    const int log_r = ilog2_floor(static_cast<std::uint64_t>(remaining));
+    remaining = std::int64_t{1} << ((log_r + 1) / 2);
+  }
+  return result;
+}
+
+}  // namespace fmm::fft

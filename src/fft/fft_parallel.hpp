@@ -1,0 +1,33 @@
+// Distributed FFT communication models — the measured counterpart of
+// Table I's parallel FFT bounds (Ω(n log n / (P log M)) and
+// Ω(n log n / (P log(n/P)))).
+//
+// Two classical layouts are counted exactly:
+//   - binary exchange on a cyclic layout: every butterfly stage whose
+//     stride is below P pairs elements on different processors, so
+//     log2(P) stages each move n/P words per processor;
+//   - transpose (four-step) method: recursively split n = n1*n2; each
+//     level costs one all-to-all (n/P words per processor), giving
+//     ~ ceil(log n / log(n/P)) - 1 exchanges — matching the
+//     memory-independent bound's shape with M = n/P.
+#pragma once
+
+#include <cstdint>
+
+namespace fmm::fft {
+
+struct ParallelFftResult {
+  /// Words sent + received per processor (symmetric exchanges).
+  std::int64_t words_per_proc = 0;
+  std::int64_t comm_stages = 0;
+};
+
+/// Binary-exchange FFT on a cyclic layout.  n, P powers of two, P <= n.
+ParallelFftResult fft_parallel_binary_exchange(std::int64_t n,
+                                               std::int64_t procs);
+
+/// Transpose-method FFT (recursive four-step with M = n/P).
+ParallelFftResult fft_parallel_transpose(std::int64_t n,
+                                         std::int64_t procs);
+
+}  // namespace fmm::fft

@@ -1,0 +1,181 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace fmm::graph {
+
+BipartiteGraph::BipartiteGraph(std::size_t n_left, std::size_t n_right)
+    : adj_(n_left), n_right_(n_right) {}
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  FMM_CHECK_MSG(left < adj_.size() && right < n_right_,
+                "edge (" << left << "," << right << ") out of range");
+  adj_[left].push_back(right);
+  ++num_edges_;
+}
+
+const std::vector<std::size_t>& BipartiteGraph::neighbors(
+    std::size_t left) const {
+  FMM_CHECK(left < adj_.size());
+  return adj_[left];
+}
+
+std::vector<std::size_t> BipartiteGraph::neighborhood(
+    const std::vector<std::size_t>& lefts) const {
+  std::vector<bool> seen(n_right_, false);
+  for (const std::size_t l : lefts) {
+    for (const std::size_t r : neighbors(l)) {
+      seen[r] = true;
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < n_right_; ++r) {
+    if (seen[r]) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+BipartiteGraph BipartiteGraph::induced(
+    const std::vector<std::size_t>& left_subset,
+    const std::vector<std::size_t>& right_subset) const {
+  std::vector<std::size_t> right_index(n_right_, MatchingResult::npos);
+  for (std::size_t i = 0; i < right_subset.size(); ++i) {
+    FMM_CHECK(right_subset[i] < n_right_);
+    right_index[right_subset[i]] = i;
+  }
+  BipartiteGraph out(left_subset.size(), right_subset.size());
+  for (std::size_t i = 0; i < left_subset.size(); ++i) {
+    for (const std::size_t r : neighbors(left_subset[i])) {
+      if (right_index[r] != MatchingResult::npos) {
+        out.add_edge(i, right_index[r]);
+      }
+    }
+  }
+  return out;
+}
+
+BipartiteGraph BipartiteGraph::transpose() const {
+  BipartiteGraph out(n_right_, adj_.size());
+  for (std::size_t l = 0; l < adj_.size(); ++l) {
+    for (const std::size_t r : adj_[l]) {
+      out.add_edge(r, l);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Hopcroft–Karp state; vertices are left ids [0, nL), right ids [0, nR).
+class HopcroftKarp {
+ public:
+  explicit HopcroftKarp(const BipartiteGraph& g)
+      : g_(g),
+        match_left_(g.n_left(), MatchingResult::npos),
+        match_right_(g.n_right(), MatchingResult::npos),
+        dist_(g.n_left()) {}
+
+  MatchingResult run() {
+    std::size_t matching = 0;
+    while (bfs()) {
+      for (std::size_t l = 0; l < g_.n_left(); ++l) {
+        if (match_left_[l] == MatchingResult::npos && dfs(l)) {
+          ++matching;
+        }
+      }
+    }
+    MatchingResult result;
+    result.size = matching;
+    result.match_left = std::move(match_left_);
+    result.match_right = std::move(match_right_);
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+  bool bfs() {
+    std::deque<std::size_t> queue;
+    for (std::size_t l = 0; l < g_.n_left(); ++l) {
+      if (match_left_[l] == MatchingResult::npos) {
+        dist_[l] = 0;
+        queue.push_back(l);
+      } else {
+        dist_[l] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!queue.empty()) {
+      const std::size_t l = queue.front();
+      queue.pop_front();
+      for (const std::size_t r : g_.neighbors(l)) {
+        const std::size_t next = match_right_[r];
+        if (next == MatchingResult::npos) {
+          found_augmenting = true;
+        } else if (dist_[next] == kInf) {
+          dist_[next] = dist_[l] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool dfs(std::size_t l) {
+    for (const std::size_t r : g_.neighbors(l)) {
+      const std::size_t next = match_right_[r];
+      if (next == MatchingResult::npos ||
+          (dist_[next] == dist_[l] + 1 && dfs(next))) {
+        match_left_[l] = r;
+        match_right_[r] = l;
+        return true;
+      }
+    }
+    dist_[l] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& g_;
+  std::vector<std::size_t> match_left_;
+  std::vector<std::size_t> match_right_;
+  std::vector<std::size_t> dist_;
+};
+
+}  // namespace
+
+MatchingResult max_matching(const BipartiteGraph& g) {
+  return HopcroftKarp(g).run();
+}
+
+std::optional<HallViolation> find_hall_violation(const BipartiteGraph& g) {
+  const std::size_t n = g.n_left();
+  FMM_CHECK_MSG(n <= 24, "exhaustive Hall check limited to 24 left vertices");
+  std::optional<HallViolation> best;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<std::size_t> subset;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (mask & (1u << l)) {
+        subset.push_back(l);
+      }
+    }
+    const std::size_t nbhd = g.neighborhood(subset).size();
+    if (nbhd < subset.size()) {
+      if (!best || subset.size() < best->witness_set.size()) {
+        best = HallViolation{subset, nbhd};
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t hall_deficiency(const BipartiteGraph& g) {
+  return g.n_left() - max_matching(g).size;
+}
+
+}  // namespace fmm::graph

@@ -1,0 +1,80 @@
+// Bipartite graphs, maximum matching, and Hall-condition certification.
+//
+// This implements the combinatorial core of the paper's Lemma 3.1: for the
+// encoder graph G = (X, Y, E) of a 2x2-base fast matrix multiplication
+// algorithm (|X| = 4 inputs, |Y| = 7 encoded products), every subset
+// Y' of Y admits a matching into X of size at least 1 + ceil((|Y'|-1)/2).
+// The checker enumerates all subsets (Y is tiny) and certifies the bound
+// with Hopcroft–Karp maximum matchings; Hall violations come with an
+// explicit deficient witness set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fmm::graph {
+
+/// Bipartite graph with left part {0..n_left-1} and right part
+/// {0..n_right-1}; adjacency stored left -> right.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t n_left, std::size_t n_right);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  std::size_t n_left() const { return adj_.size(); }
+  std::size_t n_right() const { return n_right_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::vector<std::size_t>& neighbors(std::size_t left) const;
+
+  /// Union of neighborhoods of the given left vertices.
+  std::vector<std::size_t> neighborhood(
+      const std::vector<std::size_t>& lefts) const;
+
+  /// The induced subgraph on (left_subset, right_subset), with vertices
+  /// renumbered densely in the order given.
+  BipartiteGraph induced(const std::vector<std::size_t>& left_subset,
+                         const std::vector<std::size_t>& right_subset) const;
+
+  /// The same graph with the two sides swapped.
+  BipartiteGraph transpose() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+  std::size_t n_right_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Result of a maximum-matching computation.
+struct MatchingResult {
+  std::size_t size = 0;
+  /// match_left[l] = matched right vertex or npos.
+  std::vector<std::size_t> match_left;
+  /// match_right[r] = matched left vertex or npos.
+  std::vector<std::size_t> match_right;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Hopcroft–Karp maximum bipartite matching, O(E * sqrt(V)).
+MatchingResult max_matching(const BipartiteGraph& g);
+
+/// A witness that Hall's condition fails: a left set W with |N(W)| < |W|.
+struct HallViolation {
+  std::vector<std::size_t> witness_set;
+  std::size_t neighborhood_size = 0;
+};
+
+/// Checks Hall's condition for the whole left side by exhaustive subset
+/// enumeration (requires n_left <= 24).  Returns nullopt if the condition
+/// holds; otherwise a minimal-cardinality violating set.
+std::optional<HallViolation> find_hall_violation(const BipartiteGraph& g);
+
+/// König deficiency: max over left subsets W of |W| - |N(W)|.  Computed via
+/// the matching-duality identity deficiency = n_left - max_matching (exact,
+/// no enumeration).
+std::size_t hall_deficiency(const BipartiteGraph& g);
+
+}  // namespace fmm::graph

@@ -1,0 +1,162 @@
+#include "graph/digraph.hpp"
+
+#include <deque>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fmm::graph {
+
+Digraph::Digraph(std::size_t num_vertices)
+    : out_(num_vertices), in_(num_vertices) {}
+
+VertexId Digraph::add_vertices(std::size_t count) {
+  const auto first = static_cast<VertexId>(out_.size());
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  return first;
+}
+
+void Digraph::add_edge(VertexId u, VertexId v) {
+  FMM_CHECK_MSG(u < out_.size() && v < out_.size(),
+                "edge (" << u << "," << v << ") out of range "
+                         << out_.size());
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+}
+
+const std::vector<VertexId>& Digraph::out_neighbors(VertexId v) const {
+  FMM_CHECK(v < out_.size());
+  return out_[v];
+}
+
+const std::vector<VertexId>& Digraph::in_neighbors(VertexId v) const {
+  FMM_CHECK(v < in_.size());
+  return in_[v];
+}
+
+std::vector<VertexId> Digraph::sources() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < in_.size(); ++v) {
+    if (in_[v].empty()) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> Digraph::sinks() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < out_.size(); ++v) {
+    if (out_[v].empty()) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> Digraph::topological_order() const {
+  std::vector<std::size_t> indeg(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    indeg[v] = in_[v].size();
+  }
+  std::deque<VertexId> ready;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (indeg[v] == 0) {
+      ready.push_back(v);
+    }
+  }
+  std::vector<VertexId> order;
+  order.reserve(num_vertices());
+  while (!ready.empty()) {
+    const VertexId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const VertexId w : out_[v]) {
+      if (--indeg[w] == 0) {
+        ready.push_back(w);
+      }
+    }
+  }
+  FMM_CHECK_MSG(order.size() == num_vertices(), "graph contains a cycle");
+  return order;
+}
+
+bool Digraph::is_dag() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const CheckError&) {
+    return false;
+  }
+}
+
+std::vector<bool> Digraph::reachable_from(
+    const std::vector<VertexId>& start) const {
+  std::vector<bool> seen(num_vertices(), false);
+  std::deque<VertexId> queue;
+  for (const VertexId v : start) {
+    FMM_CHECK(v < num_vertices());
+    if (!seen[v]) {
+      seen[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId w : out_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Digraph::reaching_to(
+    const std::vector<VertexId>& targets) const {
+  std::vector<bool> seen(num_vertices(), false);
+  std::deque<VertexId> queue;
+  for (const VertexId v : targets) {
+    FMM_CHECK(v < num_vertices());
+    if (!seen[v]) {
+      seen[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId w : in_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::string Digraph::to_dot(const std::vector<std::string>& labels) const {
+  std::ostringstream oss;
+  oss << "digraph G {\n  rankdir=TB;\n";
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    oss << "  v" << v;
+    if (v < labels.size() && !labels[v].empty()) {
+      oss << " [label=\"" << labels[v] << "\"]";
+    }
+    oss << ";\n";
+  }
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (const VertexId w : out_[v]) {
+      oss << "  v" << v << " -> v" << w << ";\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace fmm::graph

@@ -1,0 +1,68 @@
+// General directed graph used as the backbone of CDAGs (Definition 2.1).
+//
+// Vertices are dense 0-based ids.  Edges are stored in forward and reverse
+// adjacency lists; the CDAG builder appends vertices/edges in topological
+// order, which the algorithms below verify rather than assume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmm::graph {
+
+using VertexId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_vertices);
+
+  /// Appends `count` fresh vertices; returns the id of the first one.
+  VertexId add_vertices(std::size_t count);
+  VertexId add_vertex() { return add_vertices(1); }
+
+  /// Adds edge u -> v.  Parallel edges are permitted but the CDAG builder
+  /// never creates them.
+  void add_edge(VertexId u, VertexId v);
+
+  std::size_t num_vertices() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::vector<VertexId>& out_neighbors(VertexId v) const;
+  const std::vector<VertexId>& in_neighbors(VertexId v) const;
+
+  std::size_t out_degree(VertexId v) const { return out_neighbors(v).size(); }
+  std::size_t in_degree(VertexId v) const { return in_neighbors(v).size(); }
+
+  /// Vertices with in-degree 0.
+  std::vector<VertexId> sources() const;
+  /// Vertices with out-degree 0.
+  std::vector<VertexId> sinks() const;
+
+  /// Kahn topological order; throws CheckError if the graph has a cycle.
+  std::vector<VertexId> topological_order() const;
+
+  /// True iff acyclic.
+  bool is_dag() const;
+
+  /// All vertices reachable from `start` (inclusive) following out-edges.
+  std::vector<bool> reachable_from(const std::vector<VertexId>& start) const;
+
+  /// All vertices that can reach `targets` (inclusive) following in-edges.
+  std::vector<bool> reaching_to(const std::vector<VertexId>& targets) const;
+
+  /// GraphViz DOT output; `label(v)` supplies per-vertex labels (may be
+  /// empty for default numeric labels).
+  std::string to_dot(const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::vector<std::vector<VertexId>> out_;
+  std::vector<std::vector<VertexId>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace fmm::graph

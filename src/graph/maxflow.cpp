@@ -1,0 +1,109 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace fmm::graph {
+
+MaxFlow::MaxFlow(std::size_t num_nodes) : head_(num_nodes) {}
+
+std::size_t MaxFlow::add_edge(std::size_t u, std::size_t v,
+                              std::int64_t capacity) {
+  FMM_CHECK(u < head_.size() && v < head_.size());
+  FMM_CHECK(capacity >= 0);
+  FMM_CHECK_MSG(!ran_, "add_edge after run()");
+  const std::size_t id = edges_.size();
+  edges_.push_back(Edge{v, capacity});
+  edges_.push_back(Edge{u, 0});
+  original_capacity_.push_back(capacity);
+  original_capacity_.push_back(0);
+  head_[u].push_back(id);
+  head_[v].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlow::bfs(std::size_t s, std::size_t t) {
+  level_.assign(head_.size(), -1);
+  std::deque<std::size_t> queue;
+  level_[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const std::size_t id : head_[v]) {
+      const Edge& e = edges_[id];
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(std::size_t v, std::size_t t, std::int64_t pushed) {
+  if (v == t) {
+    return pushed;
+  }
+  for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    const std::size_t id = head_[v][i];
+    Edge& e = edges_[id];
+    if (e.capacity > 0 && level_[e.to] == level_[v] + 1) {
+      const std::int64_t got = dfs(e.to, t, std::min(pushed, e.capacity));
+      if (got > 0) {
+        e.capacity -= got;
+        edges_[id ^ 1].capacity += got;
+        return got;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::run(std::size_t s, std::size_t t) {
+  FMM_CHECK(s < head_.size() && t < head_.size() && s != t);
+  FMM_CHECK_MSG(!ran_, "run() may be called once");
+  ran_ = true;
+  std::int64_t total = 0;
+  while (bfs(s, t)) {
+    iter_.assign(head_.size(), 0);
+    while (const std::int64_t got = dfs(s, t, kInfinity)) {
+      total += got;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::flow_on(std::size_t id) const {
+  FMM_CHECK(ran_ && id < edges_.size());
+  return original_capacity_[id] - edges_[id].capacity;
+}
+
+std::int64_t MaxFlow::residual_on(std::size_t id) const {
+  FMM_CHECK(ran_ && id < edges_.size());
+  return edges_[id].capacity;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side(std::size_t s) const {
+  FMM_CHECK(ran_ && s < head_.size());
+  std::vector<bool> seen(head_.size(), false);
+  std::deque<std::size_t> queue;
+  seen[s] = true;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const std::size_t id : head_[v]) {
+      const Edge& e = edges_[id];
+      if (e.capacity > 0 && !seen[e.to]) {
+        seen[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace fmm::graph

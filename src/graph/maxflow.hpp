@@ -1,0 +1,59 @@
+// Dinic's maximum-flow algorithm on integer capacities.
+//
+// Used by vertex_cut.hpp to compute exact minimum dominator sets
+// (Definition 2.3) and maximum systems of vertex-disjoint paths
+// (Menger's theorem), which certify Lemma 3.7 and Lemma 3.11 on concrete
+// CDAGs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fmm::graph {
+
+/// Max-flow network.  Node ids are dense; add_edge returns the edge index
+/// (its reverse edge is index+1), which callers can use to inspect residual
+/// flow after run().
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t num_nodes);
+
+  /// Effectively-infinite capacity for vertex-cut constructions.
+  static constexpr std::int64_t kInfinity = std::int64_t{1} << 60;
+
+  /// Adds directed edge u -> v with given capacity; returns edge id.
+  std::size_t add_edge(std::size_t u, std::size_t v, std::int64_t capacity);
+
+  std::size_t num_nodes() const { return head_.size(); }
+
+  /// Computes the maximum s-t flow.  May be called once per network.
+  std::int64_t run(std::size_t s, std::size_t t);
+
+  /// After run(): flow pushed through edge `id`.
+  std::int64_t flow_on(std::size_t id) const;
+
+  /// After run(): residual capacity of edge `id`.
+  std::int64_t residual_on(std::size_t id) const;
+
+  /// After run(): the set of nodes reachable from s in the residual graph
+  /// (the source side of a minimum cut).
+  std::vector<bool> min_cut_source_side(std::size_t s) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::int64_t capacity;  // residual capacity
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  std::int64_t dfs(std::size_t v, std::size_t t, std::int64_t pushed);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> head_;  // node -> edge ids
+  std::vector<std::int64_t> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  bool ran_ = false;
+};
+
+}  // namespace fmm::graph

@@ -1,0 +1,34 @@
+// Classical (cubic) matrix multiplication kernels.
+//
+// These serve three roles in the reproduction:
+//   1. the ground-truth oracle that every fast algorithm is checked against,
+//   2. the "classic matrix multiplication" row of the paper's Table I
+//      (whose I/O exponent is 3, vs log2(7) for the fast algorithms), and
+//   3. the base-case kernel for recursive bilinear executors once the
+//      recursion bottoms out.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace fmm::linalg {
+
+/// C = A * B, triple loop (ikj order for locality). Shapes must conform.
+Mat multiply_naive(const Mat& a, const Mat& b);
+
+/// C += A * B on views (used by recursive executors' base case).
+void multiply_accumulate(ConstMatView a, ConstMatView b, MatView c);
+
+/// C = A * B with square cache blocking of the given tile size.
+/// `tile` defaults to 64 (a good L1 tile for doubles on most x86 cores).
+Mat multiply_blocked(const Mat& a, const Mat& b, std::size_t tile = 64);
+
+/// C = A * B parallelized over row bands with std::thread.
+/// `num_threads == 0` means hardware_concurrency().
+Mat multiply_threaded(const Mat& a, const Mat& b, std::size_t num_threads = 0);
+
+/// Exact flop count of the classical algorithm: n*m*p mults + n*p*(m-1) adds.
+std::int64_t classical_flops(std::size_t n, std::size_t m, std::size_t p);
+
+}  // namespace fmm::linalg

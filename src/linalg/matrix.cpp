@@ -1,0 +1,83 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace fmm::linalg {
+
+void fill_random(Mat& m, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      m(i, j) = rng.uniform_double(-1.0, 1.0);
+    }
+  }
+}
+
+double max_abs_diff(const Mat& a, const Mat& b) {
+  FMM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+double frobenius_norm(const Mat& m) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      sum += m(i, j) * m(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+bool approx_equal(const Mat& a, const Mat& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return false;
+  }
+  return max_abs_diff(a, b) <= tol * (1.0 + frobenius_norm(a));
+}
+
+Mat pad_to(const Mat& m, std::size_t rows, std::size_t cols) {
+  FMM_CHECK(rows >= m.rows() && cols >= m.cols());
+  Mat out(rows, cols, 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      out(i, j) = m(i, j);
+    }
+  }
+  return out;
+}
+
+Mat crop_to(const Mat& m, std::size_t rows, std::size_t cols) {
+  FMM_CHECK(rows <= m.rows() && cols <= m.cols());
+  Mat out(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      out(i, j) = m(i, j);
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Mat& m) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    oss << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j != 0) oss << ", ";
+      oss << m(i, j);
+    }
+    oss << (i + 1 == m.rows() ? "]\n" : ";\n");
+  }
+  return oss.str();
+}
+
+}  // namespace fmm::linalg

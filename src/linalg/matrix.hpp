@@ -1,0 +1,267 @@
+// Dense row-major matrices and strided views.
+//
+// This is the numeric substrate on which the recursive bilinear executors
+// (src/bilinear) and the alternative-basis machinery (src/altbasis) run.
+// Views make quadrant decomposition (the 2x2 recursion of Strassen-like
+// algorithms) allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fmm::linalg {
+
+template <typename T>
+class MatrixView;
+template <typename T>
+class ConstMatrixView;
+
+/// Owning dense row-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  /// Builds from nested initializer data (row-major); all rows equal length.
+  static Matrix from_rows(const std::vector<std::vector<T>>& rows) {
+    if (rows.empty()) {
+      return Matrix();
+    }
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      FMM_CHECK_MSG(rows[i].size() == m.cols_, "ragged rows in from_rows");
+      for (std::size_t j = 0; j < m.cols_; ++j) {
+        m(i, j) = rows[i][j];
+      }
+    }
+    return m;
+  }
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n, T{});
+    for (std::size_t i = 0; i < n; ++i) {
+      m(i, i) = T{1};
+    }
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked access (throws CheckError); use in non-hot paths.
+  T& at(std::size_t i, std::size_t j) {
+    FMM_CHECK_MSG(i < rows_ && j < cols_,
+                  "index (" << i << "," << j << ") out of " << rows_ << "x"
+                            << cols_);
+    return (*this)(i, j);
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    FMM_CHECK_MSG(i < rows_ && j < cols_,
+                  "index (" << i << "," << j << ") out of " << rows_ << "x"
+                            << cols_);
+    return (*this)(i, j);
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Whole-matrix mutable view.
+  MatrixView<T> view();
+  /// Whole-matrix const view.
+  ConstMatrixView<T> view() const;
+
+  /// View of the contiguous sub-block [r0, r0+nr) x [c0, c0+nc).
+  MatrixView<T> block(std::size_t r0, std::size_t c0, std::size_t nr,
+                      std::size_t nc);
+  ConstMatrixView<T> block(std::size_t r0, std::size_t c0, std::size_t nr,
+                           std::size_t nc) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<T> data_;
+};
+
+/// Non-owning mutable strided view over a Matrix (or another view).
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView(T* origin, std::size_t rows, std::size_t cols,
+             std::size_t row_stride)
+      : origin_(origin), rows_(rows), cols_(cols), row_stride_(row_stride) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_stride() const { return row_stride_; }
+
+  T& operator()(std::size_t i, std::size_t j) const {
+    return origin_[i * row_stride_ + j];
+  }
+
+  /// Sub-view; quadrants of the 2x2 recursion use this.
+  MatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                   std::size_t nc) const {
+    FMM_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return MatrixView(origin_ + r0 * row_stride_ + c0, nr, nc, row_stride_);
+  }
+
+  /// Quadrant (qi, qj) of an even-dimension view, 0-indexed.
+  MatrixView quadrant(std::size_t qi, std::size_t qj) const {
+    FMM_CHECK(rows_ % 2 == 0 && cols_ % 2 == 0 && qi < 2 && qj < 2);
+    const std::size_t hr = rows_ / 2;
+    const std::size_t hc = cols_ / 2;
+    return block(qi * hr, qj * hc, hr, hc);
+  }
+
+  /// Copies `src` into this view (shapes must match).
+  void assign(ConstMatrixView<T> src) const;
+
+  /// Sets every element to `value`.
+  void fill(T value) const {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        (*this)(i, j) = value;
+      }
+    }
+  }
+
+ private:
+  T* origin_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t row_stride_;
+};
+
+/// Non-owning const strided view.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView(const T* origin, std::size_t rows, std::size_t cols,
+                  std::size_t row_stride)
+      : origin_(origin), rows_(rows), cols_(cols), row_stride_(row_stride) {}
+
+  // Implicit mutable->const view conversion.
+  ConstMatrixView(MatrixView<T> v)  // NOLINT(google-explicit-constructor)
+      : origin_(&v(0, 0)), rows_(v.rows()), cols_(v.cols()),
+        row_stride_(v.row_stride()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_stride() const { return row_stride_; }
+
+  const T& operator()(std::size_t i, std::size_t j) const {
+    return origin_[i * row_stride_ + j];
+  }
+
+  ConstMatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                        std::size_t nc) const {
+    FMM_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return ConstMatrixView(origin_ + r0 * row_stride_ + c0, nr, nc,
+                           row_stride_);
+  }
+
+  ConstMatrixView quadrant(std::size_t qi, std::size_t qj) const {
+    FMM_CHECK(rows_ % 2 == 0 && cols_ % 2 == 0 && qi < 2 && qj < 2);
+    const std::size_t hr = rows_ / 2;
+    const std::size_t hc = cols_ / 2;
+    return block(qi * hr, qj * hc, hr, hc);
+  }
+
+  /// Materializes the view into an owning Matrix.
+  Matrix<T> to_matrix() const {
+    Matrix<T> m(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        m(i, j) = (*this)(i, j);
+      }
+    }
+    return m;
+  }
+
+ private:
+  const T* origin_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t row_stride_;
+};
+
+template <typename T>
+MatrixView<T> Matrix<T>::view() {
+  return MatrixView<T>(data_.data(), rows_, cols_, cols_);
+}
+
+template <typename T>
+ConstMatrixView<T> Matrix<T>::view() const {
+  return ConstMatrixView<T>(data_.data(), rows_, cols_, cols_);
+}
+
+template <typename T>
+MatrixView<T> Matrix<T>::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                               std::size_t nc) {
+  return view().block(r0, c0, nr, nc);
+}
+
+template <typename T>
+ConstMatrixView<T> Matrix<T>::block(std::size_t r0, std::size_t c0,
+                                    std::size_t nr, std::size_t nc) const {
+  return view().block(r0, c0, nr, nc);
+}
+
+template <typename T>
+void MatrixView<T>::assign(ConstMatrixView<T> src) const {
+  FMM_CHECK(src.rows() == rows_ && src.cols() == cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      (*this)(i, j) = src(i, j);
+    }
+  }
+}
+
+using Mat = Matrix<double>;
+using MatView = MatrixView<double>;
+using ConstMatView = ConstMatrixView<double>;
+
+/// Fills `m` with uniform values in [-1, 1) from the given seed.
+void fill_random(Mat& m, std::uint64_t seed);
+
+/// Max-abs-difference between two equally shaped matrices.
+double max_abs_diff(const Mat& a, const Mat& b);
+
+/// Frobenius norm.
+double frobenius_norm(const Mat& m);
+
+/// True iff shapes match and max elementwise |a-b| <= tol * (1 + |a|_F).
+bool approx_equal(const Mat& a, const Mat& b, double tol);
+
+/// Pads `m` with zeros to shape (rows, cols) >= current shape.
+Mat pad_to(const Mat& m, std::size_t rows, std::size_t cols);
+
+/// Extracts the top-left (rows, cols) corner.
+Mat crop_to(const Mat& m, std::size_t rows, std::size_t cols);
+
+/// Human-readable rendering (small matrices; tests and examples only).
+std::string to_string(const Mat& m);
+
+}  // namespace fmm::linalg

@@ -1,0 +1,94 @@
+#include "parallel/caps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::parallel {
+
+namespace {
+
+/// Internal accounting in doubles (constants like 3.5 n^2/P appear);
+/// converted to words at the end.
+struct Acc {
+  double comm = 0;
+  double peak_mem = 0;
+  int bfs = 0;
+  int dfs = 0;
+};
+
+Acc simulate(double n, double procs, double memory_words) {
+  if (procs == 1) {
+    // Sequential leaf: Strassen with ~one temporary set per level needs
+    // about 4 n^2 words (A, B, C, working buffers).
+    return Acc{0.0, 4.0 * n * n, 0, 0};
+  }
+  const double n2 = n * n;
+
+  // BFS step footprint per processor: original shares 3 n^2/P, encoded
+  // operands 2*7*(n/2)^2/P = 3.5 n^2/P, products 7*(n/2)^2/P = 1.75 n^2/P.
+  const double bfs_footprint = (3.0 + 3.5) * n2 / procs;
+  const bool divisible = std::fmod(procs, 7.0) == 0.0;
+  const bool fits = memory_words == 0 || bfs_footprint <= memory_words;
+
+  if (divisible && fits) {
+    Acc child = simulate(n / 2.0, procs / 7.0, memory_words);
+    Acc acc;
+    // Encode scatter: all 3.5 n^2 encoded words change owners (sent and
+    // received once each); decode gather: the 1.75 n^2 product words
+    // return.  Per processor: 2 * (3.5 + 1.75) n^2 / P.
+    acc.comm = 2.0 * (3.5 + 1.75) * n2 / procs + child.comm;
+    acc.peak_mem = std::max(bfs_footprint,
+                            1.75 * n2 / procs + child.peak_mem);
+    acc.bfs = child.bfs + 1;
+    acc.dfs = child.dfs;
+    return acc;
+  }
+
+  // DFS step: the 7 sub-problems run one after another on all P
+  // processors; with a block-cyclic layout the encodings are local.
+  FMM_CHECK_MSG(divisible || procs == 1,
+                "CAPS simulation requires P to be a power of 7");
+  Acc child = simulate(n / 2.0, procs, memory_words);
+  Acc acc;
+  acc.comm = 7.0 * child.comm;
+  acc.peak_mem = 3.0 * n2 / procs + child.peak_mem;
+  acc.bfs = child.bfs;
+  acc.dfs = child.dfs + 1;
+  return acc;
+}
+
+}  // namespace
+
+CapsResult simulate_caps(std::int64_t n, std::int64_t procs,
+                         std::int64_t memory_words) {
+  FMM_CHECK(n >= 1 && procs >= 1 && memory_words >= 0);
+  FMM_CHECK_MSG(is_pow2(static_cast<std::uint64_t>(n)),
+                "n must be a power of two");
+  {
+    std::int64_t p = procs;
+    while (p > 1) {
+      FMM_CHECK_MSG(p % 7 == 0, "P must be a power of 7, got " << procs);
+      p /= 7;
+    }
+  }
+  FMM_CHECK_MSG(n * n >= procs, "need at least one element per processor");
+
+  const Acc acc = simulate(static_cast<double>(n),
+                           static_cast<double>(procs),
+                           static_cast<double>(memory_words));
+  CapsResult result;
+  result.words_per_proc = static_cast<std::int64_t>(std::llround(acc.comm));
+  result.peak_memory_words =
+      static_cast<std::int64_t>(std::llround(acc.peak_mem));
+  result.bfs_steps = acc.bfs;
+  result.dfs_steps = acc.dfs;
+  result.feasible =
+      memory_words == 0 ||
+      acc.peak_mem <= static_cast<double>(memory_words) * 1.0001;
+  return result;
+}
+
+}  // namespace fmm::parallel

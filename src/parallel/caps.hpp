@@ -1,0 +1,45 @@
+// Communication simulation of CAPS-style parallel Strassen
+// (Communication-Avoiding Parallel Strassen, Ballard–Demmel–Holtz–
+// Lipshitz–Schwartz 2012) — the algorithm known to MATCH the paper's
+// parallel lower bounds (Theorem 1.1), which makes it the natural
+// measured series to plot against them.
+//
+// The machine is the paper's parallel model: P processors, each with a
+// local memory of M words; moving a word between processors is one I/O.
+// The recursion interleaves two step types:
+//   - BFS step: the 7 sub-problems are split across 7 groups of P/7
+//     processors; the encoded operands must be redistributed, costing
+//     Θ(n^2 / P) words sent+received per processor, then each group
+//     recurses independently.  BFS steps multiply per-processor memory
+//     by 7/4 — they are only legal while memory permits.
+//   - DFS step: all P processors cooperate on the 7 sub-problems one
+//     after another.  With a block-cyclic layout the encodings are
+//     local, so a DFS step itself moves no words but multiplies the
+//     recursion count by 7.
+//
+// The simulator counts words exactly per phase (encode scatter, decode
+// gather) rather than quoting the closed form, so the bench's series is
+// a measurement of this operational model.
+#pragma once
+
+#include <cstdint>
+
+namespace fmm::parallel {
+
+struct CapsResult {
+  /// Words sent + received by the busiest processor (bandwidth cost).
+  std::int64_t words_per_proc = 0;
+  /// Peak per-processor memory (words) the schedule needed.
+  std::int64_t peak_memory_words = 0;
+  int bfs_steps = 0;
+  int dfs_steps = 0;
+  bool feasible = true;  // false if even all-DFS exceeds memory
+};
+
+/// Simulates multiplication of two n x n matrices on P = 7^k processors,
+/// each with `memory_words` local memory (0 = unlimited).  n must be a
+/// power of two with n^2 >= P (at least one element per processor).
+CapsResult simulate_caps(std::int64_t n, std::int64_t procs,
+                         std::int64_t memory_words = 0);
+
+}  // namespace fmm::parallel

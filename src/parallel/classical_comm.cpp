@@ -1,0 +1,99 @@
+#include "parallel/classical_comm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fmm::parallel {
+
+namespace {
+
+std::int64_t exact_root(std::int64_t value, int degree) {
+  const auto guess = static_cast<std::int64_t>(std::llround(
+      std::pow(static_cast<double>(value), 1.0 / degree)));
+  for (std::int64_t r = std::max<std::int64_t>(1, guess - 2);
+       r <= guess + 2; ++r) {
+    std::int64_t acc = 1;
+    for (int i = 0; i < degree; ++i) {
+      acc *= r;
+    }
+    if (acc == value) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+ClassicalCommResult cannon_2d(std::int64_t n, std::int64_t procs) {
+  FMM_CHECK(n >= 1 && procs >= 1);
+  const std::int64_t grid = exact_root(procs, 2);
+  FMM_CHECK_MSG(grid > 0, "P=" << procs << " is not a perfect square");
+  FMM_CHECK_MSG(n % grid == 0, "sqrt(P) must divide n");
+
+  const std::int64_t tile = n / grid;
+  ClassicalCommResult result;
+  // Initial skew: each processor receives one A tile and one B tile.
+  result.words_per_proc += 2 * tile * tile;
+  ++result.rounds;
+  // grid - 1 shift rounds, each moving one A tile and one B tile per
+  // processor.
+  for (std::int64_t round = 1; round < grid; ++round) {
+    result.words_per_proc += 2 * tile * tile;
+    ++result.rounds;
+  }
+  result.memory_per_proc = 3 * tile * tile;  // A, B, C tiles
+  return result;
+}
+
+ClassicalCommResult classical_3d(std::int64_t n, std::int64_t procs) {
+  FMM_CHECK(n >= 1 && procs >= 1);
+  const std::int64_t grid = exact_root(procs, 3);
+  FMM_CHECK_MSG(grid > 0, "P=" << procs << " is not a perfect cube");
+  FMM_CHECK_MSG(n % grid == 0, "cbrt(P) must divide n");
+
+  const std::int64_t tile = n / grid;
+  ClassicalCommResult result;
+  // Broadcast phase: each processor receives its A and B tiles
+  // (replication along the third dimension).
+  result.words_per_proc += 2 * tile * tile;
+  ++result.rounds;
+  // Reduction phase: partial C tiles are summed along the fiber; each
+  // processor contributes one tile.
+  result.words_per_proc += tile * tile;
+  ++result.rounds;
+  result.memory_per_proc = 3 * tile * tile;
+  return result;
+}
+
+ClassicalCommResult classical_25d(std::int64_t n, std::int64_t procs,
+                                  std::int64_t c) {
+  FMM_CHECK(n >= 1 && procs >= 1 && c >= 1);
+  FMM_CHECK_MSG(procs % c == 0, "c must divide P");
+  const std::int64_t grid = exact_root(procs / c, 2);
+  FMM_CHECK_MSG(grid > 0, "P/c=" << procs / c << " is not a perfect square");
+  FMM_CHECK_MSG(n % grid == 0, "sqrt(P/c) must divide n");
+  FMM_CHECK_MSG(grid % c == 0, "c must divide sqrt(P/c)");
+
+  const std::int64_t tile = n / grid;
+  ClassicalCommResult result;
+  // Replication phase: each layer receives its copy of the A and B tiles.
+  result.words_per_proc += 2 * tile * tile;
+  ++result.rounds;
+  // Each layer performs grid/c Cannon-style shift rounds.
+  for (std::int64_t round = 0; round < grid / c; ++round) {
+    result.words_per_proc += 2 * tile * tile;
+    ++result.rounds;
+  }
+  // Reduction across the c layers: each processor contributes its
+  // partial C tile.
+  if (c > 1) {
+    result.words_per_proc += tile * tile;
+    ++result.rounds;
+  }
+  result.memory_per_proc = 3 * tile * tile;  // replicated working set
+  return result;
+}
+
+}  // namespace fmm::parallel

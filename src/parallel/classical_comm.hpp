@@ -1,0 +1,43 @@
+// Communication counts of classical distributed matrix multiplication —
+// the baselines for Table I's first row.
+//
+// 2D (Cannon / SUMMA-like): P processors in a sqrt(P) x sqrt(P) grid;
+// each round shifts A and B tiles, so a processor moves 2 (n/sqrt(P))^2
+// words per round for sqrt(P) rounds: ~2 n^2 / sqrt(P).  Matches the
+// memory-dependent bound with M = Θ(n^2/P).
+//
+// 3D: P^(1/3)-replicated layout moves ~3 n^2 / P^{2/3} words per
+// processor, matching the memory-independent bound Ω(n^2 / P^{2/3}).
+//
+// Both are computed by explicit round-counting loops (an operational
+// model), not quoted formulas.
+#pragma once
+
+#include <cstdint>
+
+namespace fmm::parallel {
+
+struct ClassicalCommResult {
+  std::int64_t words_per_proc = 0;
+  std::int64_t rounds = 0;
+  std::int64_t memory_per_proc = 0;  // words
+};
+
+/// Cannon's algorithm on a sqrt(P) x sqrt(P) grid; P must be a perfect
+/// square and sqrt(P) must divide n.
+ClassicalCommResult cannon_2d(std::int64_t n, std::int64_t procs);
+
+/// 3D algorithm on a cbrt(P)^3 grid; P must be a perfect cube and
+/// cbrt(P) must divide n.
+ClassicalCommResult classical_3d(std::int64_t n, std::int64_t procs);
+
+/// 2.5D algorithm (McColl–Tiskin / Solomonik–Demmel) with replication
+/// factor c: a sqrt(P/c) x sqrt(P/c) x c grid interpolating between
+/// Cannon (c = 1) and 3D (c = cbrt(P)).  Per-processor words
+/// ~ 2 n^2 / sqrt(c P) plus replication/reduction overhead; memory per
+/// processor grows by the factor c.  Requires P/c a perfect square,
+/// sqrt(P/c) | n, and c | sqrt(P/c) (round-count divisibility).
+ClassicalCommResult classical_25d(std::int64_t n, std::int64_t procs,
+                                  std::int64_t c);
+
+}  // namespace fmm::parallel

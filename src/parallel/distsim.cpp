@@ -1,0 +1,181 @@
+#include "parallel/distsim.hpp"
+
+#include <algorithm>
+
+#include "bilinear/catalog.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::parallel {
+
+std::int64_t DistSimResult::max_words_per_proc() const {
+  std::int64_t worst = 0;
+  for (std::size_t p = 0; p < sent.size(); ++p) {
+    worst = std::max(worst, sent[p] + received[p]);
+  }
+  return worst;
+}
+
+std::int64_t DistSimResult::total_words() const {
+  std::int64_t total = 0;
+  for (const std::int64_t s : sent) {
+    total += s;
+  }
+  return total;
+}
+
+namespace {
+
+using Owners = std::vector<int>;  // per element, processor id
+
+class Simulator {
+ public:
+  Simulator(std::int64_t procs, std::int64_t layout_period)
+      : alg_(bilinear::strassen()), c_(layout_period) {
+    result_.sent.assign(static_cast<std::size_t>(procs), 0);
+    result_.received.assign(static_cast<std::size_t>(procs), 0);
+  }
+
+  DistSimResult run(std::int64_t n) {
+    std::vector<int> group(result_.sent.size());
+    for (std::size_t p = 0; p < group.size(); ++p) {
+      group[p] = static_cast<int>(p);
+    }
+    const Owners owner_a = layout(group, n);
+    const Owners owner_b = layout(group, n);
+    multiply(n, group, owner_a, owner_b);
+    return std::move(result_);
+  }
+
+ private:
+  /// c-cyclic layout of an s x s matrix over `group`.
+  Owners layout(const std::vector<int>& group, std::int64_t s) const {
+    Owners owners(static_cast<std::size_t>(s * s));
+    for (std::int64_t i = 0; i < s; ++i) {
+      for (std::int64_t j = 0; j < s; ++j) {
+        const std::int64_t slot =
+            ((i % c_) * c_ + (j % c_)) % static_cast<std::int64_t>(
+                                             group.size());
+        owners[static_cast<std::size_t>(i * s + j)] =
+            group[static_cast<std::size_t>(slot)];
+      }
+    }
+    return owners;
+  }
+
+  void transfer(int from, int to) {
+    if (from == to) {
+      return;
+    }
+    ++result_.sent[static_cast<std::size_t>(from)];
+    ++result_.received[static_cast<std::size_t>(to)];
+  }
+
+  static std::size_t quadrant_index(std::int64_t s, std::size_t quadrant,
+                                    std::int64_t e) {
+    const std::int64_t sub = s / 2;
+    const std::int64_t qi = static_cast<std::int64_t>(quadrant) / 2;
+    const std::int64_t qj = static_cast<std::int64_t>(quadrant) % 2;
+    const std::int64_t ei = e / sub;
+    const std::int64_t ej = e % sub;
+    return static_cast<std::size_t>((qi * sub + ei) * s + (qj * sub + ej));
+  }
+
+  /// Returns the owner vector of the result C (s x s) in the group's
+  /// layout.
+  Owners multiply(std::int64_t s, const std::vector<int>& group,
+                  const Owners& owner_a, const Owners& owner_b) {
+    if (group.size() == 1) {
+      // Fully local: operands already live on the single processor.
+      return Owners(static_cast<std::size_t>(s * s), group[0]);
+    }
+    if (s == 1) {
+      // Scalar product across a non-trivial group: gather the B operand
+      // to A's owner.
+      const int target = owner_a[0];
+      transfer(owner_b[0], target);
+      return Owners(1, target);
+    }
+
+    ++result_.bfs_steps;
+    const std::int64_t sub = s / 2;
+    const std::size_t sub_elems = static_cast<std::size_t>(sub * sub);
+
+    // Split the group into 7 sub-groups round-robin.
+    std::vector<std::vector<int>> subgroup(7);
+    for (std::size_t p = 0; p < group.size(); ++p) {
+      subgroup[p % 7].push_back(group[p]);
+    }
+
+    // Encode + redistribute each operand pair into its sub-group.
+    std::vector<Owners> owner_c_r(7);
+    for (std::size_t r = 0; r < 7; ++r) {
+      const Owners target_layout = layout(subgroup[r], sub);
+      // Ã_r[e] is combined at its target owner: every contributing
+      // quadrant element held elsewhere is sent there.
+      for (std::size_t e = 0; e < sub_elems; ++e) {
+        const int target = target_layout[e];
+        for (std::size_t q = 0; q < 4; ++q) {
+          if (alg_.u().at(r, q) != 0) {
+            transfer(owner_a[quadrant_index(s, q,
+                                            static_cast<std::int64_t>(e))],
+                     target);
+          }
+          if (alg_.v().at(r, q) != 0) {
+            transfer(owner_b[quadrant_index(s, q,
+                                            static_cast<std::int64_t>(e))],
+                     target);
+          }
+        }
+      }
+      owner_c_r[r] =
+          multiply(sub, subgroup[r], target_layout, target_layout);
+    }
+
+    // Decode: C quadrant elements are combined at the parent layout's
+    // owner; every product element held elsewhere is sent there.
+    const Owners owner_c = layout(group, s);
+    for (std::size_t q = 0; q < 4; ++q) {
+      for (std::size_t e = 0; e < sub_elems; ++e) {
+        const int target =
+            owner_c[quadrant_index(s, q, static_cast<std::int64_t>(e))];
+        for (std::size_t r = 0; r < 7; ++r) {
+          if (alg_.w().at(q, r) != 0) {
+            transfer(owner_c_r[r][e], target);
+          }
+        }
+      }
+    }
+    return owner_c;
+  }
+
+  bilinear::BilinearAlgorithm alg_;
+  std::int64_t c_;
+  DistSimResult result_;
+};
+
+}  // namespace
+
+DistSimResult simulate_caps_elementwise(std::int64_t n, std::int64_t procs) {
+  FMM_CHECK(n >= 1 && procs >= 1);
+  FMM_CHECK_MSG(is_pow2(static_cast<std::uint64_t>(n)),
+                "n must be a power of two");
+  {
+    std::int64_t p = procs;
+    while (p > 1) {
+      FMM_CHECK_MSG(p % 7 == 0, "P must be a power of 7");
+      p /= 7;
+    }
+  }
+  FMM_CHECK_MSG(n * n >= procs, "need at least one element per processor");
+
+  // Layout period: smallest power of two with c^2 >= P (so one full
+  // layout tile covers every processor at the top level).
+  std::int64_t c = 1;
+  while (c * c < procs) {
+    c *= 2;
+  }
+  return Simulator(procs, c).run(n);
+}
+
+}  // namespace fmm::parallel

@@ -1,0 +1,149 @@
+#include "parallel/parallel_strassen.hpp"
+
+#include <vector>
+
+#include "bilinear/executor.hpp"
+#include "common/check.hpp"
+#include "common/timing.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fmm::parallel {
+
+namespace {
+
+using bilinear::BilinearAlgorithm;
+using bilinear::LinearCircuit;
+using bilinear::LinOp;
+using linalg::Mat;
+
+/// Evaluates a linear circuit over whole matrix blocks.
+std::vector<Mat> circuit_on_blocks(const LinearCircuit& circuit,
+                                   std::vector<Mat> inputs) {
+  std::vector<Mat> values = std::move(inputs);
+  for (const LinOp& op : circuit.ops()) {
+    const Mat& x = values[op.s1];
+    const Mat& y = values[op.s2];
+    Mat out(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        out(i, j) = op.c1 * x(i, j) + op.c2 * y(i, j);
+      }
+    }
+    values.push_back(std::move(out));
+  }
+  std::vector<Mat> outputs;
+  outputs.reserve(circuit.num_outputs());
+  for (const std::size_t idx : circuit.outputs()) {
+    outputs.push_back(values[idx]);
+  }
+  return outputs;
+}
+
+std::vector<Mat> split_blocks(const Mat& m, std::size_t base) {
+  const std::size_t sub = m.rows() / base;
+  std::vector<Mat> blocks;
+  blocks.reserve(base * base);
+  for (std::size_t bi = 0; bi < base; ++bi) {
+    for (std::size_t bj = 0; bj < base; ++bj) {
+      blocks.push_back(m.block(bi * sub, bj * sub, sub, sub).to_matrix());
+    }
+  }
+  return blocks;
+}
+
+Mat join_blocks(const std::vector<Mat>& blocks, std::size_t base) {
+  const std::size_t sub = blocks.front().rows();
+  Mat out(base * sub, base * sub);
+  for (std::size_t bi = 0; bi < base; ++bi) {
+    for (std::size_t bj = 0; bj < base; ++bj) {
+      out.block(bi * sub, bj * sub, sub, sub)
+          .assign(blocks[bi * base + bj].view());
+    }
+  }
+  return out;
+}
+
+/// Expansion tree: leaves carry the operand pairs executed as tasks.
+struct Node {
+  Mat a, b, c;
+  std::vector<Node> children;
+};
+
+void encode_tree(const BilinearAlgorithm& alg, Node& node, int depth,
+                 std::vector<Node*>& leaves) {
+  if (depth == 0) {
+    leaves.push_back(&node);
+    return;
+  }
+  const std::size_t base = alg.n();
+  const std::vector<Mat> a_tilde =
+      circuit_on_blocks(alg.encoder_a_circuit(), split_blocks(node.a, base));
+  const std::vector<Mat> b_tilde =
+      circuit_on_blocks(alg.encoder_b_circuit(), split_blocks(node.b, base));
+  node.children.resize(alg.num_products());
+  for (std::size_t r = 0; r < alg.num_products(); ++r) {
+    node.children[r].a = a_tilde[r];
+    node.children[r].b = b_tilde[r];
+    encode_tree(alg, node.children[r], depth - 1, leaves);
+  }
+}
+
+void decode_tree(const BilinearAlgorithm& alg, Node& node) {
+  if (node.children.empty()) {
+    return;  // leaf: c already computed by a task
+  }
+  for (Node& child : node.children) {
+    decode_tree(alg, child);
+  }
+  std::vector<Mat> products;
+  products.reserve(node.children.size());
+  for (Node& child : node.children) {
+    products.push_back(std::move(child.c));
+  }
+  node.c = join_blocks(
+      circuit_on_blocks(alg.decoder_circuit(), std::move(products)),
+      alg.n());
+}
+
+}  // namespace
+
+Mat multiply_parallel(const BilinearAlgorithm& algorithm, const Mat& a,
+                      const Mat& b, int bfs_levels, std::size_t num_threads,
+                      ParallelRunStats* stats, std::size_t leaf_cutoff) {
+  FMM_CHECK(algorithm.is_square());
+  FMM_CHECK(bfs_levels >= 1 && bfs_levels <= 3);
+  FMM_CHECK(a.rows() == a.cols() && b.rows() == b.cols() &&
+            a.rows() == b.rows());
+  std::size_t min_size = 1;
+  for (int l = 0; l < bfs_levels; ++l) {
+    min_size *= algorithm.n();
+  }
+  FMM_CHECK_MSG(a.rows() % min_size == 0 && a.rows() >= min_size,
+                "matrix too small for " << bfs_levels << " BFS levels");
+
+  Stopwatch timer;
+  Node root;
+  root.a = a;
+  root.b = b;
+  std::vector<Node*> leaves;
+  encode_tree(algorithm, root, bfs_levels, leaves);
+
+  ThreadPool pool(num_threads);
+  for (Node* leaf : leaves) {
+    pool.submit([&algorithm, leaf, leaf_cutoff] {
+      bilinear::RecursiveExecutor executor(algorithm, leaf_cutoff);
+      leaf->c = executor.multiply(leaf->a, leaf->b);
+    });
+  }
+  pool.wait_idle();
+
+  decode_tree(algorithm, root);
+  if (stats != nullptr) {
+    stats->seconds = timer.seconds();
+    stats->tasks = leaves.size();
+    stats->threads = pool.num_threads();
+  }
+  return std::move(root.c);
+}
+
+}  // namespace fmm::parallel

@@ -1,0 +1,33 @@
+// Shared-memory parallel execution of 2x2-base bilinear algorithms.
+//
+// One BFS level of the recursion is expanded into t independent
+// sub-multiplications (or t^2 for two levels) dispatched to a thread
+// pool; each task runs the sequential recursive executor.  This gives
+// the repository a real (wall-clock measurable) parallel algorithm to
+// complement the communication-model simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "bilinear/algorithm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace fmm::parallel {
+
+struct ParallelRunStats {
+  double seconds = 0.0;
+  std::size_t tasks = 0;
+  std::size_t threads = 0;
+};
+
+/// C = A * B using `bfs_levels` (1 or 2) expanded recursion levels worth
+/// of task parallelism.  A and B must be square with size a power of the
+/// algorithm's base, large enough to split `bfs_levels` times.
+linalg::Mat multiply_parallel(const bilinear::BilinearAlgorithm& algorithm,
+                              const linalg::Mat& a, const linalg::Mat& b,
+                              int bfs_levels = 1,
+                              std::size_t num_threads = 0,
+                              ParallelRunStats* stats = nullptr,
+                              std::size_t leaf_cutoff = 32);
+
+}  // namespace fmm::parallel

@@ -1,0 +1,69 @@
+#include "pebble/liveness.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "pebble/schedules.hpp"
+
+namespace fmm::pebble {
+
+LivenessProfile liveness_profile(
+    const cdag::Cdag& cdag, const std::vector<graph::VertexId>& schedule) {
+  FMM_CHECK_MSG(is_valid_schedule(cdag, schedule),
+                "liveness profiling requires a valid non-recomputing "
+                "schedule");
+  const std::size_t steps = schedule.size();
+  const std::size_t nv = cdag.graph.num_vertices();
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+
+  // Interval of each value: [start, end] in step indices.
+  //   inputs:        first use .. last use
+  //   intermediates: compute   .. last use
+  //   outputs:       compute   .. compute (stored immediately, store
+  //                  is mandatory I/O, not a spill)
+  std::vector<std::size_t> start(nv, kUnset);
+  std::vector<std::size_t> end(nv, kUnset);
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const graph::VertexId v = schedule[i];
+    start[v] = i;
+    end[v] = i;
+    for (const graph::VertexId u : cdag.graph.in_neighbors(v)) {
+      if (start[u] == kUnset) {
+        start[u] = i;  // first use of an input
+      }
+      end[u] = i;  // last use so far
+    }
+  }
+
+  // Sweep with +1/-1 events.
+  std::vector<int> delta(steps + 1, 0);
+  for (graph::VertexId v = 0; v < nv; ++v) {
+    if (start[v] == kUnset) {
+      continue;  // untouched (possible only for unused inputs)
+    }
+    ++delta[start[v]];
+    --delta[end[v] + 1];
+  }
+
+  LivenessProfile profile;
+  profile.live_after.resize(steps);
+  int live = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    live += delta[i];
+    FMM_CHECK(live >= 0);
+    profile.live_after[i] = static_cast<std::size_t>(live);
+    if (profile.live_after[i] > profile.peak) {
+      profile.peak = profile.live_after[i];
+      profile.peak_step = i;
+    }
+  }
+  return profile;
+}
+
+std::size_t min_cache_for_zero_spill(
+    const cdag::Cdag& cdag, const std::vector<graph::VertexId>& schedule) {
+  return liveness_profile(cdag, schedule).peak;
+}
+
+}  // namespace fmm::pebble

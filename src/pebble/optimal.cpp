@@ -1,0 +1,187 @@
+#include "pebble/optimal.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fmm::pebble {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct State {
+  Mask red = 0;
+  Mask blue = 0;
+  Mask computed = 0;  // used only when recomputation is forbidden
+
+  std::uint64_t key() const {
+    return static_cast<std::uint64_t>(red) |
+           (static_cast<std::uint64_t>(blue) << 20) |
+           (static_cast<std::uint64_t>(computed) << 40);
+  }
+};
+
+int popcount(Mask m) { return __builtin_popcount(m); }
+
+}  // namespace
+
+PebbleInstance to_instance(const cdag::Cdag& cdag) {
+  PebbleInstance instance;
+  instance.graph = cdag.graph;
+  instance.inputs = cdag.all_inputs();
+  instance.outputs = cdag.outputs;
+  return instance;
+}
+
+OptimalPebbleResult optimal_io(const PebbleInstance& instance,
+                               const OptimalPebbleOptions& options) {
+  const std::size_t nv = instance.graph.num_vertices();
+  FMM_CHECK_MSG(nv <= 20, "optimal pebbler limited to 20 vertices, got "
+                              << nv);
+  FMM_CHECK(options.cache_size >= 1);
+
+  Mask input_mask = 0;
+  for (const graph::VertexId v : instance.inputs) {
+    input_mask |= Mask{1} << v;
+  }
+  Mask output_mask = 0;
+  for (const graph::VertexId v : instance.outputs) {
+    output_mask |= Mask{1} << v;
+  }
+  std::vector<Mask> pred_mask(nv, 0);
+  for (graph::VertexId v = 0; v < nv; ++v) {
+    for (const graph::VertexId u : instance.graph.in_neighbors(v)) {
+      pred_mask[v] |= Mask{1} << u;
+    }
+  }
+
+  // 0-1 BFS (deque Dijkstra) over game states.
+  std::unordered_map<std::uint64_t, std::int64_t> best;
+  std::deque<std::pair<State, std::int64_t>> queue;
+  const State start{0, input_mask, 0};
+  best[start.key()] = 0;
+  queue.emplace_back(start, 0);
+
+  OptimalPebbleResult result;
+  const auto m = static_cast<int>(options.cache_size);
+
+  while (!queue.empty()) {
+    const auto [state, cost] = queue.front();
+    queue.pop_front();
+    const auto it = best.find(state.key());
+    if (it != best.end() && it->second < cost) {
+      continue;  // stale entry
+    }
+    if ((state.blue & output_mask) == output_mask) {
+      result.min_io = cost;
+      result.states_explored = best.size();
+      return result;
+    }
+    FMM_CHECK_MSG(best.size() <= options.max_states,
+                  "optimal pebbler exceeded state budget "
+                      << options.max_states);
+
+    const int red_count = popcount(state.red);
+    auto relax = [&](const State& next, std::int64_t next_cost) {
+      const auto [slot, inserted] =
+          best.try_emplace(next.key(), next_cost);
+      if (!inserted && slot->second <= next_cost) {
+        return;
+      }
+      slot->second = next_cost;
+      if (next_cost == cost) {
+        queue.emplace_front(next, next_cost);
+      } else {
+        queue.emplace_back(next, next_cost);
+      }
+    };
+
+    for (graph::VertexId v = 0; v < nv; ++v) {
+      const Mask bit = Mask{1} << v;
+      // LOAD
+      if ((state.blue & bit) && !(state.red & bit) && red_count < m) {
+        State next = state;
+        next.red |= bit;
+        relax(next, cost + 1);
+      }
+      // STORE
+      if ((state.red & bit) && !(state.blue & bit)) {
+        State next = state;
+        next.blue |= bit;
+        relax(next, cost + 1);
+      }
+      // COMPUTE
+      if (!(input_mask & bit) && !(state.red & bit) && red_count < m &&
+          (state.red & pred_mask[v]) == pred_mask[v] &&
+          (options.allow_recomputation || !(state.computed & bit))) {
+        State next = state;
+        next.red |= bit;
+        if (!options.allow_recomputation) {
+          next.computed |= bit;
+        }
+        relax(next, cost);
+      }
+      // DELETE
+      if (state.red & bit) {
+        State next = state;
+        next.red &= ~bit;
+        relax(next, cost);
+      }
+    }
+  }
+  FMM_CHECK_MSG(false, "instance unsolvable with M = " << options.cache_size
+                                                       << " (M too small)");
+  return result;  // unreachable
+}
+
+std::int64_t recomputation_advantage(const PebbleInstance& instance,
+                                     std::int64_t cache_size) {
+  OptimalPebbleOptions with;
+  with.cache_size = cache_size;
+  with.allow_recomputation = true;
+  OptimalPebbleOptions without = with;
+  without.allow_recomputation = false;
+  const std::int64_t io_with = optimal_io(instance, with).min_io;
+  const std::int64_t io_without = optimal_io(instance, without).min_io;
+  FMM_CHECK_MSG(io_with <= io_without,
+                "recomputation can never hurt an optimal schedule");
+  return io_without - io_with;
+}
+
+PebbleInstance random_instance(std::size_t num_inputs,
+                               std::size_t num_internal,
+                               std::size_t max_fanin, std::uint64_t seed) {
+  FMM_CHECK(num_inputs >= 1 && max_fanin >= 1);
+  Rng rng(seed);
+  PebbleInstance instance;
+  instance.graph = graph::Digraph(num_inputs + num_internal);
+  for (graph::VertexId v = 0; v < num_inputs; ++v) {
+    instance.inputs.push_back(v);
+  }
+  for (std::size_t i = 0; i < num_internal; ++i) {
+    const auto v = static_cast<graph::VertexId>(num_inputs + i);
+    const std::size_t fanin =
+        1 + static_cast<std::size_t>(rng.uniform(max_fanin));
+    const auto preds = rng.sample_without_replacement(
+        v, std::min<std::size_t>(fanin, v));
+    for (const std::size_t u : preds) {
+      instance.graph.add_edge(static_cast<graph::VertexId>(u), v);
+    }
+  }
+  for (const graph::VertexId v : instance.graph.sinks()) {
+    if (v >= num_inputs) {
+      instance.outputs.push_back(v);
+    }
+  }
+  // Degenerate case: no internal sinks; make the last vertex an output.
+  if (instance.outputs.empty() && num_internal > 0) {
+    instance.outputs.push_back(
+        static_cast<graph::VertexId>(num_inputs + num_internal - 1));
+  }
+  return instance;
+}
+
+}  // namespace fmm::pebble

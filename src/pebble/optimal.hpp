@@ -1,0 +1,72 @@
+// Exact optimal red–blue pebbling (minimum I/O over ALL schedules).
+//
+// The paper's Section V discusses when recomputation helps: Savage's
+// S-span examples and Bilardi–Peserico show some CDAGs are only optimal
+// WITH recomputation, while Theorem 1.1 shows fast-MM CDAGs gain nothing
+// asymptotically.  This module makes the question decidable on small
+// instances: a Dijkstra search over red–blue pebble game states computes
+// the true minimum I/O, with recomputation allowed or forbidden, so the
+// two optima can be compared exactly.
+//
+// Game (Hong–Kung with deletions):
+//   - every vertex may hold a red pebble (fast memory) and/or a blue
+//     pebble (slow memory); inputs start blue; at most M red pebbles;
+//   - LOAD v   (cost 1): blue(v) -> red(v);
+//   - STORE v  (cost 1): red(v) -> blue(v);
+//   - COMPUTE v (cost 0): all predecessors red -> red(v); in the
+//     no-recomputation variant each vertex may be computed once;
+//   - DELETE v (cost 0): remove red(v);
+//   - goal: every output blue.
+//
+// Complexity is exponential; the solver requires <= 20 vertices and
+// enforces explicit state/expansion budgets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cdag/cdag.hpp"
+#include "graph/digraph.hpp"
+
+namespace fmm::pebble {
+
+struct OptimalPebbleOptions {
+  std::int64_t cache_size = 3;
+  bool allow_recomputation = true;
+  /// Hard cap on distinct states explored (CheckError when exceeded).
+  std::size_t max_states = 4'000'000;
+};
+
+struct OptimalPebbleResult {
+  std::int64_t min_io = 0;
+  std::size_t states_explored = 0;
+};
+
+/// A problem instance: any DAG with designated inputs and outputs.
+struct PebbleInstance {
+  graph::Digraph graph;
+  std::vector<graph::VertexId> inputs;
+  std::vector<graph::VertexId> outputs;
+};
+
+/// Wraps a (small) CDAG as an instance.
+PebbleInstance to_instance(const cdag::Cdag& cdag);
+
+/// Exact minimum I/O; throws CheckError when the instance exceeds the
+/// solver limits or M is too small to compute some vertex.
+OptimalPebbleResult optimal_io(const PebbleInstance& instance,
+                               const OptimalPebbleOptions& options);
+
+/// Convenience: the recomputation advantage on one instance —
+/// optimal without recomputation minus optimal with (>= 0 always).
+std::int64_t recomputation_advantage(const PebbleInstance& instance,
+                                     std::int64_t cache_size);
+
+/// Generates a random DAG instance for advantage hunting: `num_inputs`
+/// sources, `num_internal` internal vertices with in-degree <= max_fanin
+/// drawn from earlier vertices, sinks become outputs.
+PebbleInstance random_instance(std::size_t num_inputs,
+                               std::size_t num_internal,
+                               std::size_t max_fanin, std::uint64_t seed);
+
+}  // namespace fmm::pebble

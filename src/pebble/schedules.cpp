@@ -1,0 +1,120 @@
+#include "pebble/schedules.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace fmm::pebble {
+
+namespace {
+
+bool is_input(const cdag::Cdag& cdag, graph::VertexId v) {
+  return cdag.roles[v] == cdag::Role::kInputA ||
+         cdag.roles[v] == cdag::Role::kInputB;
+}
+
+}  // namespace
+
+std::vector<graph::VertexId> dfs_schedule(const cdag::Cdag& cdag) {
+  // The builder emits vertices in the recursive execution order, and all
+  // edges point from lower to higher ids apart from input edges; simply
+  // listing non-input vertices by id is therefore the DFS schedule.
+  std::vector<graph::VertexId> schedule;
+  schedule.reserve(cdag.graph.num_vertices());
+  for (graph::VertexId v = 0; v < cdag.graph.num_vertices(); ++v) {
+    if (!is_input(cdag, v)) {
+      schedule.push_back(v);
+    }
+  }
+  return schedule;
+}
+
+std::vector<graph::VertexId> bfs_schedule(const cdag::Cdag& cdag) {
+  std::vector<std::size_t> indeg(cdag.graph.num_vertices());
+  std::deque<graph::VertexId> frontier;
+  for (graph::VertexId v = 0; v < cdag.graph.num_vertices(); ++v) {
+    indeg[v] = cdag.graph.in_degree(v);
+    if (indeg[v] == 0) {
+      frontier.push_back(v);  // inputs seed the frontier
+    }
+  }
+  std::vector<graph::VertexId> schedule;
+  schedule.reserve(cdag.graph.num_vertices());
+  while (!frontier.empty()) {
+    const graph::VertexId v = frontier.front();
+    frontier.pop_front();
+    if (!is_input(cdag, v)) {
+      schedule.push_back(v);
+    }
+    for (const graph::VertexId w : cdag.graph.out_neighbors(v)) {
+      if (--indeg[w] == 0) {
+        frontier.push_back(w);
+      }
+    }
+  }
+  return schedule;
+}
+
+std::vector<graph::VertexId> random_topological_schedule(
+    const cdag::Cdag& cdag, Rng& rng) {
+  std::vector<std::size_t> indeg(cdag.graph.num_vertices());
+  std::vector<graph::VertexId> frontier;
+  for (graph::VertexId v = 0; v < cdag.graph.num_vertices(); ++v) {
+    indeg[v] = cdag.graph.in_degree(v);
+    if (indeg[v] == 0) {
+      frontier.push_back(v);
+    }
+  }
+  std::vector<graph::VertexId> schedule;
+  schedule.reserve(cdag.graph.num_vertices());
+  while (!frontier.empty()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform(frontier.size()));
+    const graph::VertexId v = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    if (!is_input(cdag, v)) {
+      schedule.push_back(v);
+    }
+    for (const graph::VertexId w : cdag.graph.out_neighbors(v)) {
+      if (--indeg[w] == 0) {
+        frontier.push_back(w);
+      }
+    }
+  }
+  return schedule;
+}
+
+bool is_valid_schedule(const cdag::Cdag& cdag,
+                       const std::vector<graph::VertexId>& schedule) {
+  std::vector<bool> done(cdag.graph.num_vertices(), false);
+  for (const graph::VertexId v : cdag.inputs_a) {
+    done[v] = true;
+  }
+  for (const graph::VertexId v : cdag.inputs_b) {
+    done[v] = true;
+  }
+  std::size_t non_input_count = 0;
+  for (graph::VertexId v = 0; v < cdag.graph.num_vertices(); ++v) {
+    if (!done[v]) {
+      ++non_input_count;
+    }
+  }
+  if (schedule.size() != non_input_count) {
+    return false;
+  }
+  for (const graph::VertexId v : schedule) {
+    if (v >= cdag.graph.num_vertices() || done[v]) {
+      return false;  // out of range or computed twice / an input
+    }
+    for (const graph::VertexId u : cdag.graph.in_neighbors(v)) {
+      if (!done[u]) {
+        return false;
+      }
+    }
+    done[v] = true;
+  }
+  return true;
+}
+
+}  // namespace fmm::pebble

@@ -1,0 +1,40 @@
+// Schedule generators for CDAG execution on the two-level machine.
+//
+// A schedule is a topologically valid sequence of all non-input vertices.
+// The generators below cover the regimes the benches compare:
+//   - depth-first: the natural recursive order of Algorithm 2; with LRU
+//     this is the cache-oblivious schedule whose I/O tracks the
+//     (n/√M)^{ω0}·M bound within a constant,
+//   - breadth-first: computes whole levels at a time; its working set is
+//     Θ(n^2) per level, so its I/O degrades for small M (a useful
+//     contrast series),
+//   - random topological: adversarially unstructured (property tests),
+//   - the recomputation regime lives in machine.hpp
+//     (simulate_with_recomputation) since its schedule is dynamic.
+#pragma once
+
+#include <vector>
+
+#include "cdag/cdag.hpp"
+#include "common/rng.hpp"
+
+namespace fmm::pebble {
+
+/// The builder's creation order restricted to non-input vertices: exactly
+/// the depth-first recursive execution order of the algorithm.
+std::vector<graph::VertexId> dfs_schedule(const cdag::Cdag& cdag);
+
+/// Kahn topological order with a FIFO frontier (level-ish order).
+std::vector<graph::VertexId> bfs_schedule(const cdag::Cdag& cdag);
+
+/// Uniformly random topological order (Kahn with random frontier pops).
+std::vector<graph::VertexId> random_topological_schedule(
+    const cdag::Cdag& cdag, Rng& rng);
+
+/// Checks that `schedule` contains every non-input vertex exactly once in
+/// an order that respects all CDAG edges.  (Recomputation schedules are
+/// validated by the simulator instead.)
+bool is_valid_schedule(const cdag::Cdag& cdag,
+                       const std::vector<graph::VertexId>& schedule);
+
+}  // namespace fmm::pebble

@@ -1,0 +1,116 @@
+// Tests for the block-bordering combinator (<b,b,b;t> -> <b+1,b+1,b+1;
+// t + 3b^2 + 3b + 1>) and the resulting base-3 recursion: a fast 3x3
+// algorithm with 26 < 27 products, run through every layer of the
+// library (executor, CDAG, pebble machine, bounds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bilinear/catalog.hpp"
+#include "bilinear/executor.hpp"
+#include "bounds/formulas.hpp"
+#include "cdag/builder.hpp"
+#include "common/check.hpp"
+#include "linalg/matmul.hpp"
+#include "pebble/machine.hpp"
+#include "pebble/schedules.hpp"
+
+namespace fmm::bilinear {
+namespace {
+
+TEST(Bordered, ShapeAndCount) {
+  const BilinearAlgorithm alg = strassen_bordered_3x3();
+  EXPECT_EQ(alg.n(), 3u);
+  EXPECT_EQ(alg.m(), 3u);
+  EXPECT_EQ(alg.p(), 3u);
+  EXPECT_EQ(alg.num_products(), 26u);  // 7 + 3*4 + 3*2 + 1
+}
+
+TEST(Bordered, BrentValid) {
+  const auto violation = strassen_bordered_3x3().first_brent_violation();
+  EXPECT_FALSE(violation.has_value()) << violation.value_or("");
+}
+
+TEST(Bordered, BeatsClassicalExponent) {
+  const BilinearAlgorithm alg = strassen_bordered_3x3();
+  EXPECT_LT(alg.omega(), 3.0);
+  EXPECT_NEAR(alg.omega(), std::log(26.0) / std::log(3.0), 1e-12);
+}
+
+TEST(Bordered, WinogradBorderAlsoValid) {
+  const BilinearAlgorithm alg = border_one(winograd());
+  EXPECT_EQ(alg.num_products(), 26u);
+  EXPECT_TRUE(alg.is_valid());
+}
+
+TEST(Bordered, DoubleBorderGives4x4) {
+  // <3,3,3;26> -> <4,4,4; 26 + 27 + 9 + 1 = 63> (worse than 49 but valid).
+  const BilinearAlgorithm alg = border_one(strassen_bordered_3x3());
+  EXPECT_EQ(alg.n(), 4u);
+  EXPECT_EQ(alg.num_products(), 63u);
+  EXPECT_TRUE(alg.is_valid());
+}
+
+TEST(Bordered, BorderRequiresSquare) {
+  EXPECT_THROW(border_one(rect_2x2x4()), CheckError);
+}
+
+TEST(Bordered, ExecutorMatchesOracleBase3) {
+  const BilinearAlgorithm alg = strassen_bordered_3x3();
+  RecursiveExecutor executor(alg);
+  for (const std::size_t n : {3u, 9u, 27u}) {
+    linalg::Mat a(n, n), b(n, n);
+    linalg::fill_random(a, n);
+    linalg::fill_random(b, n + 1);
+    EXPECT_LT(linalg::max_abs_diff(executor.multiply(a, b),
+                                   linalg::multiply_naive(a, b)),
+              1e-8)
+        << "n=" << n;
+  }
+}
+
+TEST(Bordered, MultiplicationCountIs26PowK) {
+  RecursiveExecutor executor(strassen_bordered_3x3());
+  EXPECT_EQ(executor.predicted_count(3).multiplications, 26);
+  EXPECT_EQ(executor.predicted_count(9).multiplications, 26 * 26);
+  EXPECT_EQ(executor.predicted_count(27).multiplications, 26 * 26 * 26);
+}
+
+TEST(Bordered, FewerMultsThanClassicAtScale) {
+  RecursiveExecutor fast(strassen_bordered_3x3());
+  // Classical 27^k multiplications vs 26^k.
+  EXPECT_LT(fast.predicted_count(27).multiplications, 27ll * 27 * 27);
+}
+
+TEST(Bordered, CdagConstructionBase3) {
+  const cdag::Cdag cdag = cdag::build_cdag(strassen_bordered_3x3(), 9);
+  cdag.validate();
+  EXPECT_EQ(cdag.inputs_a.size(), 81u);
+  EXPECT_EQ(cdag.role_histogram().at(cdag::Role::kProduct), 26u * 26u);
+  // Lemma 2.2 with base 3, t = 26: (9/3)^{log3 26} * 9 = 26 * 9.
+  EXPECT_EQ(cdag.sub_outputs_flat(3).size(), 26u * 9u);
+}
+
+TEST(Bordered, PebbleSimulationRespectsBound) {
+  const cdag::Cdag cdag = cdag::build_cdag(strassen_bordered_3x3(), 9);
+  pebble::SimOptions options;
+  options.cache_size = 32;
+  const auto result =
+      pebble::simulate(cdag, pebble::dfs_schedule(cdag), options);
+  EXPECT_GE(result.total_io(), pebble::trivial_io_floor(cdag));
+  const double bound = bounds::fast_memory_dependent(
+      {9.0, 32.0, 1.0}, strassen_bordered_3x3().omega());
+  EXPECT_GE(static_cast<double>(result.total_io()), bound / 8.0);
+}
+
+TEST(Bordered, TensorWithSelf) {
+  // <3,3,3;26> (x) <2,2,2;7> = <6,6,6;182>: still Brent-valid.
+  const BilinearAlgorithm t =
+      BilinearAlgorithm::tensor(strassen_bordered_3x3(), strassen());
+  EXPECT_EQ(t.n(), 6u);
+  EXPECT_EQ(t.num_products(), 182u);
+  EXPECT_TRUE(t.is_valid());
+}
+
+}  // namespace
+}  // namespace fmm::bilinear

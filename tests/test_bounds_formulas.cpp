@@ -1,0 +1,146 @@
+// Tests for the closed-form lower bounds of Table I / Theorem 1.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/formulas.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::bounds {
+namespace {
+
+TEST(Classic, SequentialValue) {
+  // (n/sqrt(M))^3 * M with n=64, M=16: (64/4)^3 * 16 = 65536.
+  EXPECT_NEAR(classic_memory_dependent({64, 16, 1}), 65536.0, 1e-6);
+}
+
+TEST(Classic, MemoryIndependentValue) {
+  // n^2 / P^{2/3} with n=64, P=8: 4096 / 4 = 1024.
+  EXPECT_NEAR(classic_memory_independent({64, 16, 8}), 1024.0, 1e-6);
+}
+
+TEST(Fast, SequentialStrassenValue) {
+  // (n/sqrt(M))^{log2 7} * M with n = 64, M = 16: 16^{2.807..} * 16.
+  const double expected = std::pow(16.0, kOmega0) * 16.0;
+  EXPECT_NEAR(fast_memory_dependent({64, 16, 1}, kOmega0), expected, 1e-6);
+}
+
+TEST(Fast, MemoryIndependentValue) {
+  // n^2 / P^{2/log2 7} with P = 7^3: exponent 2/log2(7)*log2(343)... use
+  // direct computation.
+  const double expected = 64.0 * 64.0 / std::pow(343.0, 2.0 / kOmega0);
+  EXPECT_NEAR(fast_memory_independent({64, 16, 343}, kOmega0), expected,
+              1e-6);
+}
+
+TEST(Fast, FastBelowClassicSequential) {
+  // The fast bound is asymptotically lower: exponent log2 7 < 3.
+  for (const double n : {256.0, 1024.0, 4096.0}) {
+    const MmParams p{n, 64, 1};
+    EXPECT_LT(fast_memory_dependent(p, kOmega0),
+              classic_memory_dependent(p));
+  }
+}
+
+TEST(Fast, ParallelBoundIsMax) {
+  const MmParams p{1024, 256, 49};
+  EXPECT_DOUBLE_EQ(fast_parallel_bound(p, kOmega0),
+                   std::max(fast_memory_dependent(p, kOmega0),
+                            fast_memory_independent(p, kOmega0)));
+}
+
+TEST(Fast, CrossoverPoint) {
+  // At P = P*, the two bounds are equal; before it memory-dependent
+  // dominates, after it memory-independent dominates.
+  const double n = 4096, m = 1024;
+  const double p_star = parallel_crossover_p(n, m, kOmega0);
+  EXPECT_GT(p_star, 1.0);
+  const MmParams at{n, m, p_star};
+  EXPECT_NEAR(fast_memory_dependent(at, kOmega0),
+              fast_memory_independent(at, kOmega0),
+              fast_memory_dependent(at, kOmega0) * 1e-9);
+  const MmParams before{n, m, p_star / 4};
+  EXPECT_GT(fast_memory_dependent(before, kOmega0),
+            fast_memory_independent(before, kOmega0));
+  const MmParams after{n, m, p_star * 4};
+  EXPECT_LT(fast_memory_dependent(after, kOmega0),
+            fast_memory_independent(after, kOmega0));
+}
+
+TEST(Fast, MemoryDependentDecreasesWithM) {
+  // For n^2 >> M the bound decreases as M grows (exponent > 2).
+  double prev = 1e300;
+  for (const double m : {16.0, 64.0, 256.0, 1024.0}) {
+    const double value = fast_memory_dependent({4096, m, 1}, kOmega0);
+    EXPECT_LT(value, prev);
+    prev = value;
+  }
+}
+
+TEST(Fast, ScalesInverselyWithP) {
+  const double one = fast_memory_dependent({1024, 64, 1}, kOmega0);
+  const double seven = fast_memory_dependent({1024, 64, 7}, kOmega0);
+  EXPECT_NEAR(one / seven, 7.0, 1e-9);
+}
+
+TEST(Fast, InvalidParamsThrow) {
+  EXPECT_THROW(fast_memory_dependent({0, 16, 1}, kOmega0), CheckError);
+  EXPECT_THROW(fast_memory_dependent({16, 0, 1}, kOmega0), CheckError);
+  EXPECT_THROW(fast_memory_dependent({16, 16, 0}, kOmega0), CheckError);
+  EXPECT_THROW(fast_memory_dependent({16, 16, 1}, 2.0), CheckError);
+}
+
+TEST(Rectangular, TableIFormula) {
+  // q^t / (P * M^{log_mp q - 1}).
+  const double v = rectangular_bound(2, 4, 14, 3, 64, 1);
+  const double log_mp_q = std::log(14.0) / std::log(8.0);
+  EXPECT_NEAR(v, std::pow(14.0, 3.0) / std::pow(64.0, log_mp_q - 1.0),
+              1e-9);
+}
+
+TEST(Rectangular, GrowsWithLevels) {
+  double prev = 0;
+  for (const double t : {1.0, 2.0, 3.0, 4.0}) {
+    const double v = rectangular_bound(2, 4, 14, t, 64, 1);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Fft, MemoryDependentValue) {
+  // n log n / (P log M): 1024*10 / (1*4) = 2560.
+  EXPECT_NEAR(fft_memory_dependent(1024, 16, 1), 2560.0, 1e-9);
+}
+
+TEST(Fft, MemoryIndependentValue) {
+  // n log n / (P log(n/P)): 1024*10/(4*8) = 320.
+  EXPECT_NEAR(fft_memory_independent(1024, 4), 320.0, 1e-9);
+}
+
+TEST(Fft, RequiresNBiggerThanP) {
+  EXPECT_THROW(fft_memory_independent(16, 16), CheckError);
+}
+
+TEST(Flops, StrassenLeadingTerm) {
+  // fast_flops(n, 18) = 7 n^{log2 7} - 6 n^2.
+  const double n = 1024;
+  EXPECT_NEAR(fast_flops(n, 18),
+              7.0 * std::pow(n, kOmega0) - 6.0 * n * n, 1e-3);
+}
+
+TEST(Flops, OrderingByLinearOps) {
+  // Fewer base linear ops -> fewer flops (5 < 6 < 7 coefficients).
+  const double n = 4096;
+  EXPECT_LT(fast_flops(n, 12), fast_flops(n, 15));
+  EXPECT_LT(fast_flops(n, 15), fast_flops(n, 18));
+}
+
+TEST(Classic, SequentialMatchesFastWhenOmegaIsThree) {
+  const MmParams p{512, 64, 1};
+  EXPECT_NEAR(classic_memory_dependent(p), fast_memory_dependent(p, 3.0),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace fmm::bounds

@@ -1,0 +1,94 @@
+// Tests for the element-level distributed simulator (parallel/distsim):
+// conservation laws, scaling shape, and consistency with the closed-form
+// CAPS model and the Theorem 1.1 parallel bound.
+#include <gtest/gtest.h>
+
+#include "bounds/formulas.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "parallel/caps.hpp"
+#include "parallel/distsim.hpp"
+
+namespace fmm::parallel {
+namespace {
+
+TEST(DistSim, SingleProcessorMovesNothing) {
+  const DistSimResult r = simulate_caps_elementwise(64, 1);
+  EXPECT_EQ(r.total_words(), 0);
+  EXPECT_EQ(r.max_words_per_proc(), 0);
+  EXPECT_EQ(r.bfs_steps, 0);
+}
+
+TEST(DistSim, SentEqualsReceived) {
+  for (const std::int64_t p : {7, 49}) {
+    const DistSimResult r = simulate_caps_elementwise(64, p);
+    std::int64_t sent = 0, received = 0;
+    for (std::size_t q = 0; q < r.sent.size(); ++q) {
+      sent += r.sent[q];
+      received += r.received[q];
+    }
+    EXPECT_EQ(sent, received) << "P=" << p;
+    EXPECT_GT(sent, 0) << "P=" << p;
+  }
+}
+
+TEST(DistSim, QuadraticInN) {
+  // Communication is Θ(n^2) at fixed P: quadrupling n multiplies words
+  // by 16.
+  const DistSimResult small = simulate_caps_elementwise(64, 7);
+  const DistSimResult large = simulate_caps_elementwise(256, 7);
+  EXPECT_EQ(large.total_words(), 16 * small.total_words());
+}
+
+TEST(DistSim, StrongScalingReducesPerProcWords) {
+  const std::int64_t n = 256;
+  std::int64_t prev = INT64_MAX;
+  for (const std::int64_t p : {7, 49, 343}) {
+    const DistSimResult r = simulate_caps_elementwise(n, p);
+    EXPECT_LT(r.max_words_per_proc(), prev) << "P=" << p;
+    prev = r.max_words_per_proc();
+  }
+}
+
+TEST(DistSim, AboveMemoryIndependentBound) {
+  // Exact word counts respect Ω(n^2 / P^{2/ω0}).
+  for (const std::int64_t p : {7, 49, 343}) {
+    const std::int64_t n = 256;
+    const DistSimResult r = simulate_caps_elementwise(n, p);
+    const double bound = bounds::fast_memory_independent(
+        {static_cast<double>(n), 1.0, static_cast<double>(p)}, kOmega0);
+    EXPECT_GE(static_cast<double>(r.max_words_per_proc()), bound)
+        << "P=" << p;
+  }
+}
+
+TEST(DistSim, WithinConstantOfFormulaModel) {
+  // The elementwise counts (no multicast, per-use transfers) sit above
+  // the closed-form model by a bounded factor.
+  for (const std::int64_t p : {7, 49}) {
+    for (const std::int64_t n : {64, 256}) {
+      const DistSimResult exact = simulate_caps_elementwise(n, p);
+      const CapsResult model = simulate_caps(n, p);
+      const double ratio = static_cast<double>(exact.max_words_per_proc()) /
+                           static_cast<double>(model.words_per_proc);
+      EXPECT_GT(ratio, 0.5) << "n=" << n << " P=" << p;
+      EXPECT_LT(ratio, 8.0) << "n=" << n << " P=" << p;
+    }
+  }
+}
+
+TEST(DistSim, BfsStepCountMatchesRecursion) {
+  // One BFS split per internal recursion node with |group| > 1:
+  // P=7: 1 split at the top.  P=49: 1 + 7 = 8 splits.
+  EXPECT_EQ(simulate_caps_elementwise(64, 7).bfs_steps, 1);
+  EXPECT_EQ(simulate_caps_elementwise(64, 49).bfs_steps, 8);
+}
+
+TEST(DistSim, RejectsBadArguments) {
+  EXPECT_THROW(simulate_caps_elementwise(63, 7), CheckError);
+  EXPECT_THROW(simulate_caps_elementwise(64, 6), CheckError);
+  EXPECT_THROW(simulate_caps_elementwise(2, 49), CheckError);
+}
+
+}  // namespace
+}  // namespace fmm::parallel

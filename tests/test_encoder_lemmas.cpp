@@ -1,0 +1,179 @@
+// Certification of the paper's encoder-graph lemmas (Section III):
+// Lemma 3.1 (matching), Lemma 3.2 (degrees), Lemma 3.3 (distinct
+// supports), Lemma 3.4 / Corollary 3.5 (Hopcroft–Kerr sets).  These are
+// the paper's replacement for Bilardi–De Stefani's case analysis, so we
+// check them on EVERY fast 2x2-base algorithm in the catalog.
+#include <gtest/gtest.h>
+
+#include "bilinear/catalog.hpp"
+#include "bounds/encoder_lemmas.hpp"
+#include "common/check.hpp"
+
+namespace fmm::bounds {
+namespace {
+
+using bilinear::BilinearAlgorithm;
+using bilinear::Side;
+
+TEST(Lemma31Formula, RequiredMatchingValues) {
+  // 1 + ceil((k-1)/2).
+  EXPECT_EQ(lemma31_required_matching(1), 1u);
+  EXPECT_EQ(lemma31_required_matching(2), 2u);
+  EXPECT_EQ(lemma31_required_matching(3), 2u);
+  EXPECT_EQ(lemma31_required_matching(4), 3u);
+  EXPECT_EQ(lemma31_required_matching(5), 3u);
+  EXPECT_EQ(lemma31_required_matching(6), 4u);
+  EXPECT_EQ(lemma31_required_matching(7), 4u);
+}
+
+class EncoderCert
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Side>> {};
+
+TEST_P(EncoderCert, AllLemmasHold) {
+  const auto [index, side] = GetParam();
+  const auto algorithms = bilinear::all_fast_2x2_algorithms();
+  const BilinearAlgorithm& alg = algorithms[index];
+  const EncoderCertificate cert = certify_encoder(alg, side);
+  EXPECT_TRUE(cert.lemma31_matching) << alg.name() << ": " << cert.failure;
+  EXPECT_TRUE(cert.lemma32_degrees) << alg.name() << ": " << cert.failure;
+  EXPECT_TRUE(cert.lemma32_pairs) << alg.name() << ": " << cert.failure;
+  EXPECT_TRUE(cert.lemma33_distinct) << alg.name() << ": " << cert.failure;
+  EXPECT_TRUE(cert.all_pass());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFast2x2BothSides, EncoderCert,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 3, 4),
+                       ::testing::Values(Side::kA, Side::kB)));
+
+TEST(EncoderCertDetail, Lemma31TightForSomeSubset) {
+  // The bound 1 + ceil((|Y'|-1)/2) is achieved with equality for some Y'
+  // on Strassen's encoder (otherwise the lemma would be improvable).
+  const EncoderCertificate cert =
+      certify_encoder(bilinear::strassen(), Side::kA);
+  EXPECT_EQ(cert.min_matching_slack, 0);
+}
+
+TEST(EncoderCertDetail, AltBasisSparseEncoderViolatesLemma32) {
+  // The *transformed* algorithm of Section IV is not itself a plain
+  // 2x2 bilinear matmul algorithm: its encoder can have inputs used only
+  // once.  The paper handles it through Theorem 4.1 instead — our
+  // certifier must detect the difference rather than silently pass.
+  // Build a synthetic encoder with a degree-1 input: replace U by the
+  // identity-padded matrix.
+  bilinear::IntMat u(7, 4);
+  for (std::size_t r = 0; r < 7; ++r) {
+    u.at(r, r % 4) = 1;  // each input used at most twice, input 3 once
+  }
+  const BilinearAlgorithm fake("fake", 2, 2, 2, u,
+                               bilinear::strassen().v(),
+                               bilinear::strassen().w());
+  const EncoderCertificate cert = certify_encoder(fake, Side::kA);
+  EXPECT_FALSE(cert.lemma33_distinct);  // duplicated supports
+  EXPECT_FALSE(cert.all_pass());
+  EXPECT_FALSE(cert.failure.empty());
+}
+
+TEST(EncoderCertDetail, DetectsDuplicateSupports) {
+  // Duplicate two product rows: Lemma 3.3 must fail.
+  bilinear::IntMat u = bilinear::strassen().u();
+  for (std::size_t c = 0; c < 4; ++c) {
+    u.at(1, c) = u.at(0, c);
+  }
+  const BilinearAlgorithm fake("dup", 2, 2, 2, u, bilinear::strassen().v(),
+                               bilinear::strassen().w());
+  const EncoderCertificate cert = certify_encoder(fake, Side::kA);
+  EXPECT_FALSE(cert.lemma33_distinct);
+}
+
+TEST(EncoderCertDetail, RequiresFourInputs) {
+  EXPECT_THROW(certify_encoder(bilinear::strassen_squared(), Side::kA),
+               CheckError);
+}
+
+TEST(EncoderCertDetail, ClassicEightProductEncoderFailsAsExpected) {
+  // The lemmas characterize OPTIMAL (7-product) algorithms.  The
+  // classical 2x2x2 encoder has pairs of products with identical A-side
+  // supports (A11*B11 and A11*B12), so Lemma 3.3 fails; and with 8
+  // products the Lemma 3.1 requirement 1 + ceil(7/2) = 5 exceeds |X| = 4,
+  // so the matching bound fails too.  Degrees and pair coverage do hold.
+  const EncoderCertificate cert =
+      certify_encoder(bilinear::classic(2, 2, 2), Side::kA);
+  EXPECT_TRUE(cert.lemma32_degrees);
+  EXPECT_TRUE(cert.lemma32_pairs);
+  EXPECT_FALSE(cert.lemma33_distinct);
+  EXPECT_FALSE(cert.lemma31_matching);
+}
+
+TEST(HopcroftKerr, NineSets) {
+  const auto& sets = hopcroft_kerr_sets();
+  EXPECT_EQ(sets.size(), 9u);
+  for (const auto& set : sets) {
+    EXPECT_FALSE(set.label.empty());
+    for (const auto& form : set.forms) {
+      int nnz = 0;
+      for (const int c : form) {
+        EXPECT_TRUE(c == 0 || c == 1);
+        nnz += (c != 0);
+      }
+      EXPECT_GE(nnz, 1);
+    }
+  }
+}
+
+TEST(HopcroftKerr, AllCatalogAlgorithmsPass) {
+  for (const auto& alg : bilinear::all_fast_2x2_algorithms()) {
+    const HopcroftKerrCertificate cert = certify_hopcroft_kerr(alg);
+    EXPECT_TRUE(cert.pass) << alg.name() << ": " << cert.failure;
+    for (const std::size_t usage : cert.usage) {
+      EXPECT_LE(usage, 1u) << alg.name();
+    }
+  }
+}
+
+TEST(HopcroftKerr, StrassenUsageProfile) {
+  // Strassen uses A11 (set S0), A11+A22 (sets S3, S4, S6), A22 (S8) ...
+  const HopcroftKerrCertificate cert =
+      certify_hopcroft_kerr(bilinear::strassen());
+  ASSERT_TRUE(cert.pass);
+  EXPECT_EQ(cert.usage[0], 1u);  // A11 = M3's operand
+  EXPECT_EQ(cert.usage[8], 1u);  // A22 = M4's operand
+}
+
+TEST(HopcroftKerr, EightProductAlgorithmHasSlack) {
+  // For the classical algorithm (t = 8) the budget is t - 6 = 2 per set.
+  const HopcroftKerrCertificate cert =
+      certify_hopcroft_kerr(bilinear::classic(2, 2, 2));
+  EXPECT_TRUE(cert.pass);
+}
+
+TEST(HopcroftKerr, ViolationDetected) {
+  // Force two products with operands from set S0: {A11, A12+A21}.
+  bilinear::IntMat u = bilinear::strassen().u();
+  // Row 0 := A12 + A21 (M3 row 2 is already A11) — set S0 used twice.
+  u.at(0, 0) = 0;
+  u.at(0, 1) = 1;
+  u.at(0, 2) = 1;
+  u.at(0, 3) = 0;
+  const BilinearAlgorithm fake("hk-violator", 2, 2, 2, u,
+                               bilinear::strassen().v(),
+                               bilinear::strassen().w());
+  const HopcroftKerrCertificate cert = certify_hopcroft_kerr(fake);
+  EXPECT_FALSE(cert.pass);
+  EXPECT_GE(cert.usage[0], 2u);
+}
+
+TEST(HopcroftKerr, SignInsensitive) {
+  // Negating a U row must not change set membership counting.
+  bilinear::IntMat u = bilinear::strassen().u();
+  for (std::size_t c = 0; c < 4; ++c) {
+    u.at(2, c) = -u.at(2, c);  // M3: A11 -> -A11
+  }
+  const BilinearAlgorithm fake("neg", 2, 2, 2, u, bilinear::strassen().v(),
+                               bilinear::strassen().w());
+  const HopcroftKerrCertificate cert = certify_hopcroft_kerr(fake);
+  EXPECT_EQ(cert.usage[0], 1u);
+}
+
+}  // namespace
+}  // namespace fmm::bounds

@@ -1,0 +1,235 @@
+// Tests for the FFT substrate: transform correctness, butterfly CDAG,
+// and blocked out-of-core I/O counting vs the Table I formula.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/formulas.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/fft_cdag.hpp"
+#include "fft/fft_io.hpp"
+#include "fft/fft_parallel.hpp"
+#include "graph/vertex_cut.hpp"
+
+namespace fmm::fft {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> data(n);
+  for (auto& x : data) {
+    x = Complex(rng.uniform_double(-1, 1), rng.uniform_double(-1, 1));
+  }
+  return data;
+}
+
+double max_error(const std::vector<Complex>& a,
+                 const std::vector<Complex>& b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    auto data = random_signal(n, n);
+    const auto expected = dft_naive(data);
+    fft_inplace(data);
+    EXPECT_LT(max_error(data, expected), 1e-9 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> data{Complex(3.0, -1.0)};
+  fft_inplace(data);
+  EXPECT_EQ(data[0], Complex(3.0, -1.0));
+}
+
+TEST(Fft, InverseRoundTrip) {
+  for (const std::size_t n : {8u, 64u, 1024u}) {
+    const auto original = random_signal(n, 2 * n);
+    auto data = original;
+    fft_inplace(data);
+    ifft_inplace(data);
+    EXPECT_LT(max_error(data, original), 1e-10 * static_cast<double>(n));
+  }
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<Complex> data(6);
+  EXPECT_THROW(fft_inplace(data), CheckError);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Complex> data(8, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  fft_inplace(data);
+  for (const Complex& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 64;
+  auto data = random_signal(n, 7);
+  double time_energy = 0;
+  for (const Complex& x : data) {
+    time_energy += std::norm(x);
+  }
+  fft_inplace(data);
+  double freq_energy = 0;
+  for (const Complex& x : data) {
+    freq_energy += std::norm(x);
+  }
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-8 * freq_energy);
+}
+
+TEST(Fft, FlopCountFormula) {
+  EXPECT_EQ(fft_flops(2), 10);        // 1 butterfly
+  EXPECT_EQ(fft_flops(8), 120);       // 12 butterflies
+  EXPECT_EQ(fft_flops(1024), 10 * 512 * 10);
+}
+
+TEST(Fft, ConvolutionAgainstDirect) {
+  const std::size_t n = 16;
+  const auto a = random_signal(n, 1);
+  const auto b = random_signal(n, 2);
+  const auto fast = convolve(a, b);
+  // Direct circular convolution.
+  std::vector<Complex> direct(n, Complex(0, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      direct[(i + j) % n] += a[i] * b[j];
+    }
+  }
+  EXPECT_LT(max_error(fast, direct), 1e-10 * static_cast<double>(n));
+}
+
+TEST(FftCdag, StructureCounts) {
+  for (const std::size_t n : {2u, 8u, 64u}) {
+    const FftCdag cdag = build_fft_cdag(n);
+    cdag.validate();
+    const std::size_t levels =
+        static_cast<std::size_t>(std::log2(static_cast<double>(n)));
+    EXPECT_EQ(cdag.graph.num_vertices(), n * (levels + 1));
+    EXPECT_EQ(cdag.graph.num_edges(), 2 * n * levels);
+  }
+}
+
+TEST(FftCdag, ButterflyConnectivity) {
+  const FftCdag cdag = build_fft_cdag(4);
+  // Level 1 vertex at position 0 depends on inputs 0 and 1.
+  const auto& preds = cdag.graph.in_neighbors(cdag.inputs[0] + 4);
+  EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST(FftCdag, EveryOutputDependsOnEveryInput) {
+  const FftCdag cdag = build_fft_cdag(16);
+  const auto reach = cdag.graph.reachable_from({cdag.inputs[5]});
+  for (const graph::VertexId out : cdag.outputs) {
+    EXPECT_TRUE(reach[out]);
+  }
+}
+
+TEST(FftCdag, MinDominatorOfAllOutputsIsN) {
+  // The butterfly is a permutation network: the n outputs are connected
+  // to the n inputs by n vertex-disjoint paths (take any level's full
+  // cut), so the minimum dominator of all outputs has size exactly n.
+  const FftCdag cdag = build_fft_cdag(8);
+  const auto cut =
+      graph::min_vertex_cut(cdag.graph, cdag.inputs, cdag.outputs);
+  EXPECT_EQ(cut.cut_size, 8u);
+}
+
+TEST(FftIo, InCacheIsOnePass) {
+  const FftIoResult r = blocked_fft_io(1024, 2048);
+  EXPECT_EQ(r.reads, 1024);
+  EXPECT_EQ(r.writes, 1024);
+  EXPECT_EQ(r.passes, 1);
+}
+
+TEST(FftIo, OutOfCoreCountsMultiplePasses) {
+  const FftIoResult r = blocked_fft_io(1 << 20, 1 << 10);
+  EXPECT_EQ(r.passes, 2);  // sqrt split: both factors fit
+  EXPECT_EQ(r.total(), 2 * 2 * (1 << 20));
+}
+
+TEST(FftIo, DeepRecursionPasses) {
+  // n = M^4 requires ceil(log_M n) = 4 passes.
+  const FftIoResult r = blocked_fft_io(1 << 16, 1 << 4);
+  EXPECT_GE(r.passes, 4);
+  EXPECT_LE(r.passes, 5);
+}
+
+TEST(FftIo, TracksTableIFormulaShape) {
+  // Measured I/O / (n log n / log M) bounded by small constants.
+  for (const std::int64_t n : {1 << 12, 1 << 16, 1 << 20}) {
+    for (const std::int64_t m : {1 << 4, 1 << 8}) {
+      const FftIoResult r = blocked_fft_io(n, m);
+      const double bound = bounds::fft_memory_dependent(
+          static_cast<double>(n), static_cast<double>(m), 1.0);
+      const double ratio = static_cast<double>(r.total()) / bound;
+      EXPECT_GT(ratio, 0.5) << "n=" << n << " M=" << m;
+      EXPECT_LT(ratio, 8.0) << "n=" << n << " M=" << m;
+    }
+  }
+}
+
+TEST(FftParallel, SingleProcessorIsFree) {
+  EXPECT_EQ(fft_parallel_binary_exchange(1 << 10, 1).words_per_proc, 0);
+  EXPECT_EQ(fft_parallel_transpose(1 << 10, 1).words_per_proc, 0);
+}
+
+TEST(FftParallel, BinaryExchangeClosedForm) {
+  // (2 n / P) * log2(P) words per processor.
+  const auto r = fft_parallel_binary_exchange(1 << 12, 1 << 4);
+  EXPECT_EQ(r.comm_stages, 4);
+  EXPECT_EQ(r.words_per_proc, 2 * (1 << 8) * 4);
+}
+
+TEST(FftParallel, TransposeBeatsBinaryExchangeAtScale) {
+  // With many processors the transpose method's ceil(log n / log(n/P))
+  // exchanges beat binary exchange's log P stages.
+  const std::int64_t n = 1 << 20;
+  const std::int64_t p = 1 << 10;
+  const auto bx = fft_parallel_binary_exchange(n, p);
+  const auto tr = fft_parallel_transpose(n, p);
+  EXPECT_LT(tr.words_per_proc, bx.words_per_proc);
+  EXPECT_LT(tr.comm_stages, bx.comm_stages);
+}
+
+TEST(FftParallel, AboveMemoryIndependentBound) {
+  // Both methods respect Table I's Ω(n log n / (P log(n/P))) within a
+  // constant (the bound counts words; exchanges count send+receive).
+  for (const std::int64_t p : {4, 64, 1024}) {
+    const std::int64_t n = 1 << 16;
+    const double bound = bounds::fft_memory_independent(
+        static_cast<double>(n), static_cast<double>(p));
+    const auto bx = fft_parallel_binary_exchange(n, p);
+    const auto tr = fft_parallel_transpose(n, p);
+    EXPECT_GE(static_cast<double>(bx.words_per_proc), bound / 4.0)
+        << "P=" << p;
+    EXPECT_GE(static_cast<double>(tr.words_per_proc), bound / 4.0)
+        << "P=" << p;
+  }
+}
+
+TEST(FftParallel, RejectsBadArguments) {
+  EXPECT_THROW(fft_parallel_binary_exchange(1000, 4), CheckError);
+  EXPECT_THROW(fft_parallel_binary_exchange(16, 32), CheckError);
+  EXPECT_THROW(fft_parallel_transpose(16, 16), CheckError);  // local < 2
+}
+
+TEST(FftIo, RejectsBadArguments) {
+  EXPECT_THROW(blocked_fft_io(1000, 16), CheckError);  // n not pow2
+  EXPECT_THROW(blocked_fft_io(1024, 3), CheckError);   // m too small / odd
+}
+
+}  // namespace
+}  // namespace fmm::fft

@@ -1,0 +1,145 @@
+// Unit tests for src/graph digraph machinery.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/digraph.hpp"
+
+namespace fmm::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Digraph, Degrees) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+}
+
+TEST(Digraph, AddVerticesReturnsFirstId) {
+  Digraph g;
+  EXPECT_EQ(g.add_vertices(3), 0u);
+  EXPECT_EQ(g.add_vertices(2), 3u);
+  EXPECT_EQ(g.num_vertices(), 5u);
+}
+
+TEST(Digraph, EdgeOutOfRangeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), CheckError);
+}
+
+TEST(Digraph, SourcesAndSinks) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.sources(), (std::vector<VertexId>{0}));
+  EXPECT_EQ(g.sinks(), (std::vector<VertexId>{3}));
+}
+
+TEST(Digraph, TopologicalOrderRespectsEdges) {
+  const Digraph g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[order[i]] = i;
+  }
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Digraph, CycleDetection) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.topological_order(), CheckError);
+}
+
+TEST(Digraph, SelfLoopIsCycle) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  EXPECT_FALSE(g.is_dag());
+}
+
+TEST(Digraph, DagIsDag) {
+  EXPECT_TRUE(diamond().is_dag());
+}
+
+TEST(Digraph, ReachableFrom) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto reach = g.reachable_from({0});
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[3]);
+  EXPECT_FALSE(reach[4]);
+}
+
+TEST(Digraph, ReachableFromMultipleSources) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto reach = g.reachable_from({0, 2});
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[3]);
+}
+
+TEST(Digraph, ReachingTo) {
+  const Digraph g = diamond();
+  const auto reaching = g.reaching_to({3});
+  EXPECT_TRUE(reaching[0]);
+  EXPECT_TRUE(reaching[1]);
+  EXPECT_TRUE(reaching[2]);
+  EXPECT_TRUE(reaching[3]);
+  const auto reaching1 = g.reaching_to({1});
+  EXPECT_TRUE(reaching1[0]);
+  EXPECT_FALSE(reaching1[2]);
+}
+
+TEST(Digraph, ReachabilityOutOfRangeThrows) {
+  const Digraph g = diamond();
+  EXPECT_THROW(g.reachable_from({9}), CheckError);
+}
+
+TEST(Digraph, DotOutputContainsEdges) {
+  const Digraph g = diamond();
+  const std::string dot = g.to_dot({"in", "l", "r", "out"});
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"in\""), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Digraph, EmptyGraphTopoOrder) {
+  Digraph g;
+  EXPECT_TRUE(g.topological_order().empty());
+  EXPECT_TRUE(g.is_dag());
+}
+
+TEST(Digraph, LinearChainOrder) {
+  Digraph g(64);
+  for (VertexId v = 0; v + 1 < 64; ++v) {
+    g.add_edge(v, v + 1);
+  }
+  const auto order = g.topological_order();
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_EQ(order[v], v);
+  }
+}
+
+}  // namespace
+}  // namespace fmm::graph

@@ -1,0 +1,83 @@
+// Tests for the Grigoriev-flow formulas (Lemmas 3.8–3.10 consequences).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/grigoriev.hpp"
+#include "common/check.hpp"
+
+namespace fmm::bounds {
+namespace {
+
+TEST(GrigorievFlow, FullInputsGiveHalfOutputs) {
+  // With u = 2n^2 the deficit vanishes: ω = v / 2.
+  EXPECT_DOUBLE_EQ(grigoriev_flow_mm(4, 32, 16), 8.0);
+  EXPECT_DOUBLE_EQ(grigoriev_flow_mm(2, 8, 4), 2.0);
+  EXPECT_DOUBLE_EQ(flow_exponent_full_input(4, 16), 8.0);
+}
+
+TEST(GrigorievFlow, ClampsAtZero) {
+  // Few inputs, many fixed: flow cannot go negative.
+  EXPECT_DOUBLE_EQ(grigoriev_flow_mm(4, 0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(grigoriev_flow_mm(2, 1, 1), 0.0);
+}
+
+TEST(GrigorievFlow, MonotoneInInputs) {
+  double prev = -1.0;
+  for (double u = 0; u <= 32; u += 4) {
+    const double flow = grigoriev_flow_mm(4, u, 16);
+    EXPECT_GE(flow, prev);
+    prev = flow;
+  }
+}
+
+TEST(GrigorievFlow, MonotoneInOutputs) {
+  double prev = -1.0;
+  for (double v = 0; v <= 16; v += 2) {
+    const double flow = grigoriev_flow_mm(4, 32, v);
+    EXPECT_GE(flow, prev);
+    prev = flow;
+  }
+}
+
+TEST(GrigorievFlow, OutOfRangeThrows) {
+  EXPECT_THROW(grigoriev_flow_mm(2, 9, 4), CheckError);    // u > 2n^2
+  EXPECT_THROW(grigoriev_flow_mm(2, 8, 5), CheckError);    // v > n^2
+  EXPECT_THROW(grigoriev_flow_mm(2, -1, 4), CheckError);
+}
+
+TEST(GrigorievFlow, ExactFormulaValue) {
+  // n=2, u=6, v=4: (4 - (8-6)^2/16)/2 = (4 - 0.25)/2 = 1.875.
+  EXPECT_DOUBLE_EQ(grigoriev_flow_mm(2, 6, 4), 1.875);
+}
+
+TEST(DominatorBound, MatchesFlow) {
+  EXPECT_DOUBLE_EQ(dominator_bound_from_flow(4, 32, 16),
+                   grigoriev_flow_mm(4, 32, 16));
+}
+
+TEST(UndominatedInputs, Lemma310Shape) {
+  // 2 n sqrt(|O'| - 2|Γ|).
+  EXPECT_DOUBLE_EQ(undominated_inputs_bound(4, 18, 1), 32.0);  // 8*sqrt(16)
+  EXPECT_DOUBLE_EQ(undominated_inputs_bound(4, 4, 2), 0.0);
+  EXPECT_DOUBLE_EQ(undominated_inputs_bound(4, 3, 2), 0.0);  // negative slack
+}
+
+TEST(DisjointPathBound, Lemma311Shape) {
+  // 2 r sqrt(|Z| - 2|Γ|).
+  EXPECT_DOUBLE_EQ(disjoint_path_bound(2, 4, 0), 8.0);
+  EXPECT_DOUBLE_EQ(disjoint_path_bound(2, 4, 1), 2.0 * 2.0 * std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(disjoint_path_bound(2, 4, 2), 0.0);
+  EXPECT_DOUBLE_EQ(disjoint_path_bound(4, 16, 0), 32.0);
+}
+
+TEST(DisjointPathBound, ZeroGammaEqualsTwiceZ) {
+  // With Γ empty and |Z| = r^2 the guarantee is 2 r^2 = |V_inp(SUB)|.
+  for (const std::size_t r : {2u, 4u, 8u}) {
+    EXPECT_DOUBLE_EQ(disjoint_path_bound(r, static_cast<double>(r * r), 0),
+                     2.0 * static_cast<double>(r * r));
+  }
+}
+
+}  // namespace
+}  // namespace fmm::bounds

@@ -1,0 +1,218 @@
+// Unit tests for src/linalg: matrices, views, classical multiplication.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/matrix.hpp"
+
+namespace fmm::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Mat m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, FromRows) {
+  const Mat m = Mat::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, FromRowsRaggedThrows) {
+  EXPECT_THROW(Mat::from_rows({{1, 2}, {3}}), CheckError);
+}
+
+TEST(Matrix, Identity) {
+  const Mat id = Mat::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Mat m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), CheckError);
+  EXPECT_THROW(m.at(0, 2), CheckError);
+}
+
+TEST(MatrixView, QuadrantDecomposition) {
+  Mat m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      m(i, j) = static_cast<double>(10 * i + j);
+    }
+  }
+  const auto q11 = m.view().quadrant(1, 1);
+  EXPECT_EQ(q11(0, 0), 22.0);
+  EXPECT_EQ(q11(1, 1), 33.0);
+  const auto q01 = m.view().quadrant(0, 1);
+  EXPECT_EQ(q01(0, 0), 2.0);
+}
+
+TEST(MatrixView, AssignCopiesBlock) {
+  Mat src(2, 2, 7.0);
+  Mat dst(4, 4, 0.0);
+  dst.view().quadrant(1, 0).assign(src.view());
+  EXPECT_EQ(dst(2, 0), 7.0);
+  EXPECT_EQ(dst(3, 1), 7.0);
+  EXPECT_EQ(dst(0, 0), 0.0);
+}
+
+TEST(MatrixView, NestedBlocks) {
+  Mat m(8, 8);
+  fill_random(m, 42);
+  const auto inner = m.view().block(2, 2, 4, 4).block(1, 1, 2, 2);
+  EXPECT_EQ(inner(0, 0), m(3, 3));
+  EXPECT_EQ(inner(1, 1), m(4, 4));
+}
+
+TEST(MatrixView, FillSetsEverything) {
+  Mat m(4, 4, 1.0);
+  m.view().quadrant(0, 0).fill(9.0);
+  EXPECT_EQ(m(0, 0), 9.0);
+  EXPECT_EQ(m(1, 1), 9.0);
+  EXPECT_EQ(m(2, 2), 1.0);
+}
+
+TEST(MatrixView, ToMatrixRoundTrip) {
+  Mat m(4, 4);
+  fill_random(m, 5);
+  const Mat& cm = m;
+  const Mat copy = cm.view().block(1, 1, 2, 2).to_matrix();
+  EXPECT_EQ(copy(0, 0), m(1, 1));
+  EXPECT_EQ(copy(1, 1), m(2, 2));
+}
+
+TEST(Helpers, FillRandomDeterministic) {
+  Mat a(3, 3), b(3, 3);
+  fill_random(a, 99);
+  fill_random(b, 99);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  fill_random(b, 100);
+  EXPECT_GT(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Helpers, Norms) {
+  const Mat m = Mat::from_rows({{3, 4}});
+  EXPECT_NEAR(frobenius_norm(m), 5.0, 1e-12);
+}
+
+TEST(Helpers, PadAndCrop) {
+  const Mat m = Mat::from_rows({{1, 2}, {3, 4}});
+  const Mat padded = pad_to(m, 3, 4);
+  EXPECT_EQ(padded.rows(), 3u);
+  EXPECT_EQ(padded(0, 1), 2.0);
+  EXPECT_EQ(padded(2, 3), 0.0);
+  const Mat cropped = crop_to(padded, 2, 2);
+  EXPECT_EQ(max_abs_diff(cropped, m), 0.0);
+}
+
+TEST(Helpers, ApproxEqual) {
+  Mat a(2, 2, 1.0);
+  Mat b(2, 2, 1.0 + 1e-12);
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  Mat c(2, 2, 2.0);
+  EXPECT_FALSE(approx_equal(a, c, 1e-9));
+  Mat d(2, 3, 1.0);
+  EXPECT_FALSE(approx_equal(a, d, 1e-9));
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Mat a(5, 5);
+  fill_random(a, 3);
+  const Mat c = multiply_naive(a, Mat::identity(5));
+  EXPECT_LT(max_abs_diff(a, c), 1e-12);
+}
+
+TEST(Matmul, KnownSmallProduct) {
+  const Mat a = Mat::from_rows({{1, 2}, {3, 4}});
+  const Mat b = Mat::from_rows({{5, 6}, {7, 8}});
+  const Mat c = multiply_naive(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, RectangularShapes) {
+  Mat a(3, 5), b(5, 2);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  const Mat c = multiply_naive(a, b);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 2u);
+  // Spot check one entry.
+  double expect = 0;
+  for (std::size_t k = 0; k < 5; ++k) {
+    expect += a(1, k) * b(k, 1);
+  }
+  EXPECT_NEAR(c(1, 1), expect, 1e-12);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Mat a(2, 3), b(2, 2);
+  EXPECT_THROW(multiply_naive(a, b), CheckError);
+}
+
+TEST(Matmul, BlockedMatchesNaive) {
+  Mat a(33, 33), b(33, 33);
+  fill_random(a, 10);
+  fill_random(b, 11);
+  const Mat naive = multiply_naive(a, b);
+  for (const std::size_t tile : {1u, 4u, 16u, 64u}) {
+    const Mat blocked = multiply_blocked(a, b, tile);
+    EXPECT_LT(max_abs_diff(naive, blocked), 1e-9) << "tile=" << tile;
+  }
+}
+
+TEST(Matmul, ThreadedMatchesNaive) {
+  Mat a(40, 40), b(40, 40);
+  fill_random(a, 20);
+  fill_random(b, 21);
+  const Mat naive = multiply_naive(a, b);
+  for (const std::size_t threads : {1u, 2u, 4u, 13u}) {
+    const Mat parallel = multiply_threaded(a, b, threads);
+    EXPECT_LT(max_abs_diff(naive, parallel), 1e-9) << "threads=" << threads;
+  }
+}
+
+TEST(Matmul, ThreadedMoreThreadsThanRows) {
+  Mat a(3, 3), b(3, 3);
+  fill_random(a, 30);
+  fill_random(b, 31);
+  const Mat c = multiply_threaded(a, b, 64);
+  EXPECT_LT(max_abs_diff(multiply_naive(a, b), c), 1e-9);
+}
+
+TEST(Matmul, ClassicalFlopCount) {
+  // n*m*p multiplications + n*p*(m-1) additions.
+  EXPECT_EQ(classical_flops(2, 2, 2), 8 + 4);
+  EXPECT_EQ(classical_flops(4, 4, 4), 64 + 48);
+  EXPECT_EQ(classical_flops(1, 1, 1), 1);
+  EXPECT_EQ(classical_flops(3, 5, 2), 30 + 24);
+}
+
+TEST(Matmul, MultiplyAccumulateAddsIntoC) {
+  Mat a(2, 2, 1.0), b(2, 2, 1.0);
+  Mat c(2, 2, 10.0);
+  multiply_accumulate(a.view(), b.view(), c.view());
+  EXPECT_EQ(c(0, 0), 12.0);  // 10 + 2
+}
+
+TEST(Matrix, ToStringRenders) {
+  const Mat m = Mat::from_rows({{1, 2}});
+  const std::string s = to_string(m);
+  EXPECT_NE(s.find('1'), std::string::npos);
+  EXPECT_NE(s.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmm::linalg

@@ -1,0 +1,163 @@
+// Unit tests for IntMat and straight-line linear circuits.
+#include <gtest/gtest.h>
+
+#include "bilinear/linear_circuit.hpp"
+#include "common/check.hpp"
+
+namespace fmm::bilinear {
+namespace {
+
+IntMat make(std::size_t r, std::size_t c, const std::vector<int>& data) {
+  IntMat m(r, c);
+  m.data = data;
+  return m;
+}
+
+TEST(IntMat, Nnz) {
+  const IntMat m = make(2, 3, {1, 0, -1, 0, 0, 2});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.row_nnz(0), 2u);
+  EXPECT_EQ(m.row_nnz(1), 1u);
+}
+
+TEST(IntMat, Multiply) {
+  const IntMat a = make(2, 2, {1, 2, 3, 4});
+  const IntMat b = make(2, 2, {0, 1, 1, 0});
+  const IntMat c = IntMat::multiply(a, b);
+  EXPECT_EQ(c.at(0, 0), 2);
+  EXPECT_EQ(c.at(0, 1), 1);
+  EXPECT_EQ(c.at(1, 0), 4);
+  EXPECT_EQ(c.at(1, 1), 3);
+}
+
+TEST(IntMat, MultiplyShapeMismatchThrows) {
+  const IntMat a = make(2, 3, {1, 2, 3, 4, 5, 6});
+  const IntMat b = make(2, 2, {1, 0, 0, 1});
+  EXPECT_THROW(IntMat::multiply(a, b), CheckError);
+}
+
+TEST(IntMat, Kronecker) {
+  const IntMat a = make(1, 2, {1, -1});
+  const IntMat b = make(2, 1, {2, 3});
+  const IntMat k = IntMat::kronecker(a, b);
+  EXPECT_EQ(k.rows, 2u);
+  EXPECT_EQ(k.cols, 2u);
+  EXPECT_EQ(k.at(0, 0), 2);
+  EXPECT_EQ(k.at(1, 0), 3);
+  EXPECT_EQ(k.at(0, 1), -2);
+  EXPECT_EQ(k.at(1, 1), -3);
+}
+
+TEST(IntMat, Identity) {
+  const IntMat id = IntMat::identity(3);
+  EXPECT_EQ(id.nnz(), 3u);
+  EXPECT_EQ(id.at(1, 1), 1);
+  EXPECT_EQ(id.at(0, 1), 0);
+}
+
+TEST(IntMat, Determinant) {
+  EXPECT_EQ(IntMat::identity(4).determinant(), 1);
+  EXPECT_EQ(make(2, 2, {1, 2, 3, 4}).determinant(), -2);
+  EXPECT_EQ(make(2, 2, {1, 2, 2, 4}).determinant(), 0);
+  EXPECT_EQ(make(3, 3, {2, 0, 0, 0, 3, 0, 0, 0, 4}).determinant(), 24);
+  // Needs a row swap.
+  EXPECT_EQ(make(2, 2, {0, 1, 1, 0}).determinant(), -1);
+}
+
+TEST(IntMat, DeterminantNonSquareThrows) {
+  EXPECT_THROW(make(2, 3, {1, 2, 3, 4, 5, 6}).determinant(), CheckError);
+}
+
+TEST(IntMat, InverseInteger) {
+  const IntMat m = make(2, 2, {1, 1, 0, 1});
+  const IntMat inv = m.inverse_integer();
+  EXPECT_EQ(IntMat::multiply(m, inv), IntMat::identity(2));
+  EXPECT_EQ(inv.at(0, 1), -1);
+}
+
+TEST(IntMat, InverseOfPermutation) {
+  const IntMat p = make(3, 3, {0, 1, 0, 0, 0, 1, 1, 0, 0});
+  const IntMat inv = p.inverse_integer();
+  EXPECT_EQ(IntMat::multiply(p, inv), IntMat::identity(3));
+}
+
+TEST(IntMat, SingularInverseThrows) {
+  EXPECT_THROW(make(2, 2, {1, 2, 2, 4}).inverse_integer(), CheckError);
+}
+
+TEST(IntMat, NonIntegralInverseThrows) {
+  // det = 2; inverse has halves.
+  EXPECT_THROW(make(2, 2, {1, 1, -1, 1}).inverse_integer(), CheckError);
+}
+
+TEST(LinearCircuit, EvaluateSimpleSum) {
+  // out = x0 + x1
+  const LinearCircuit c(2, {LinOp{0, 1, 1, 1}}, {2});
+  EXPECT_EQ(c.evaluate({3.0, 4.0}), (std::vector<double>{7.0}));
+  EXPECT_EQ(c.evaluate_exact({3, 4}), (std::vector<std::int64_t>{7}));
+}
+
+TEST(LinearCircuit, SharedSubexpression) {
+  // s = x0 + x1; out0 = s + x2; out1 = s - x2.
+  const LinearCircuit c(3,
+                        {LinOp{0, 1, 1, 1}, LinOp{3, 1, 2, 1},
+                         LinOp{3, 1, 2, -1}},
+                        {4, 5});
+  const auto out = c.evaluate_exact({1, 2, 10});
+  EXPECT_EQ(out, (std::vector<std::int64_t>{13, -7}));
+  EXPECT_EQ(c.num_ops(), 3u);
+}
+
+TEST(LinearCircuit, ForwardReferenceThrows) {
+  EXPECT_THROW(LinearCircuit(1, {LinOp{1, 1, 0, 1}}, {1}), CheckError);
+}
+
+TEST(LinearCircuit, BadOutputThrows) {
+  EXPECT_THROW(LinearCircuit(1, {}, {1}), CheckError);
+}
+
+TEST(LinearCircuit, ToMatrix) {
+  const LinearCircuit c(2, {LinOp{0, 1, 1, -1}}, {2, 0});
+  const IntMat m = c.to_matrix();
+  EXPECT_EQ(m.rows, 2u);
+  EXPECT_EQ(m.cols, 2u);
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(0, 1), -1);
+  EXPECT_EQ(m.at(1, 0), 1);
+  EXPECT_EQ(m.at(1, 1), 0);
+}
+
+TEST(LinearCircuit, ComputesCheck) {
+  const LinearCircuit c(2, {LinOp{0, 1, 1, 1}}, {2});
+  EXPECT_TRUE(c.computes(make(1, 2, {1, 1})));
+  EXPECT_FALSE(c.computes(make(1, 2, {1, -1})));
+  EXPECT_FALSE(c.computes(make(2, 2, {1, 1, 0, 0})));
+}
+
+TEST(LinearCircuit, NaiveFromMatrixComputesIt) {
+  const IntMat m = make(3, 4, {1, 0, 0, 0,      // wire
+                               0, 1, -1, 1,     // 2 ops
+                               0, 0, 0, 0});    // zero row
+  const LinearCircuit c = LinearCircuit::naive_from_matrix(m);
+  EXPECT_TRUE(c.computes(m));
+  EXPECT_EQ(c.num_ops(), 3u);  // 2 for row 1, 1 for the zero row
+}
+
+TEST(LinearCircuit, NaiveOpCountMatchesNnz) {
+  // Row with k >= 2 nonzeros costs k-1 ops; unit rows cost 0; negated
+  // singleton costs 1.
+  const IntMat m = make(3, 3, {1, 1, 1,    // 2 ops
+                               0, -1, 0,   // 1 op (negation)
+                               1, 0, 0});  // 0 ops
+  const LinearCircuit c = LinearCircuit::naive_from_matrix(m);
+  EXPECT_EQ(c.num_ops(), 3u);
+  EXPECT_TRUE(c.computes(m));
+}
+
+TEST(LinearCircuit, ExactOverflowChecked) {
+  const LinearCircuit c(1, {LinOp{0, 2, 0, 0}}, {1});
+  EXPECT_THROW(c.evaluate_exact({INT64_MAX / 2 + 1}), fmm::CheckError);
+}
+
+}  // namespace
+}  // namespace fmm::bilinear

@@ -1,0 +1,192 @@
+// Unit tests for bipartite matching and Hall-condition certification.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/bipartite.hpp"
+
+namespace fmm::graph {
+namespace {
+
+TEST(Bipartite, Construction) {
+  BipartiteGraph g(3, 4);
+  g.add_edge(0, 0);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.n_left(), 3u);
+  EXPECT_EQ(g.n_right(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(Bipartite, EdgeOutOfRangeThrows) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), CheckError);
+  EXPECT_THROW(g.add_edge(0, 2), CheckError);
+}
+
+TEST(Bipartite, Neighborhood) {
+  BipartiteGraph g(3, 5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  g.add_edge(1, 4);
+  EXPECT_EQ(g.neighborhood({0, 1}), (std::vector<std::size_t>{1, 4}));
+  EXPECT_TRUE(g.neighborhood({2}).empty());
+}
+
+TEST(Matching, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    g.add_edge(i, i);
+  }
+  const MatchingResult m = max_matching(g);
+  EXPECT_EQ(m.size, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.match_left[i], i);
+    EXPECT_EQ(m.match_right[i], i);
+  }
+}
+
+TEST(Matching, CompleteBipartite) {
+  BipartiteGraph g(3, 5);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t r = 0; r < 5; ++r) {
+      g.add_edge(l, r);
+    }
+  }
+  EXPECT_EQ(max_matching(g).size, 3u);
+}
+
+TEST(Matching, DeficientGraph) {
+  // Two left vertices share a single right neighbor.
+  BipartiteGraph g(2, 1);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  EXPECT_EQ(max_matching(g).size, 1u);
+  EXPECT_EQ(hall_deficiency(g), 1u);
+}
+
+TEST(Matching, AugmentingPathNeeded) {
+  // Greedy left-to-right would mismatch; Hopcroft–Karp must augment.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(max_matching(g).size, 2u);
+}
+
+TEST(Matching, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  EXPECT_EQ(max_matching(g).size, 0u);
+  EXPECT_EQ(hall_deficiency(g), 3u);
+}
+
+TEST(Matching, MatchingIsConsistent) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    BipartiteGraph g(6, 6);
+    for (std::size_t l = 0; l < 6; ++l) {
+      for (std::size_t r = 0; r < 6; ++r) {
+        if (rng.bernoulli(0.4)) {
+          g.add_edge(l, r);
+        }
+      }
+    }
+    const MatchingResult m = max_matching(g);
+    std::size_t count = 0;
+    for (std::size_t l = 0; l < 6; ++l) {
+      if (m.match_left[l] != MatchingResult::npos) {
+        ++count;
+        EXPECT_EQ(m.match_right[m.match_left[l]], l);
+      }
+    }
+    EXPECT_EQ(count, m.size);
+  }
+}
+
+TEST(Matching, AgreesWithDeficiencyFormula) {
+  // König duality: max matching = n_left - max_W (|W| - |N(W)|); verify
+  // against exhaustive subset enumeration on random graphs.
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t nl = 5, nr = 4;
+    BipartiteGraph g(nl, nr);
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (rng.bernoulli(0.35)) {
+          g.add_edge(l, r);
+        }
+      }
+    }
+    std::size_t max_deficiency = 0;
+    for (std::uint32_t mask = 0; mask < (1u << nl); ++mask) {
+      std::vector<std::size_t> subset;
+      for (std::size_t l = 0; l < nl; ++l) {
+        if (mask & (1u << l)) {
+          subset.push_back(l);
+        }
+      }
+      const std::size_t nbhd = g.neighborhood(subset).size();
+      if (subset.size() > nbhd) {
+        max_deficiency = std::max(max_deficiency, subset.size() - nbhd);
+      }
+    }
+    EXPECT_EQ(max_matching(g).size, nl - max_deficiency) << "trial " << trial;
+  }
+}
+
+TEST(Hall, HoldsOnPerfectMatching) {
+  BipartiteGraph g(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.add_edge(i, i);
+    g.add_edge(i, (i + 1) % 3);
+  }
+  EXPECT_FALSE(find_hall_violation(g).has_value());
+}
+
+TEST(Hall, DetectsViolationWithWitness) {
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  const auto violation = find_hall_violation(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->witness_set, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(violation->neighborhood_size, 1u);
+}
+
+TEST(Hall, IsolatedLeftVertexViolates) {
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  const auto violation = find_hall_violation(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->witness_set, (std::vector<std::size_t>{1}));
+}
+
+TEST(Induced, SubgraphRenumbering) {
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(1, 1);
+  g.add_edge(2, 2);
+  g.add_edge(0, 2);
+  const BipartiteGraph sub = g.induced({0, 2}, {2});
+  EXPECT_EQ(sub.n_left(), 2u);
+  EXPECT_EQ(sub.n_right(), 1u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 0->2 and 2->2 both map to right 0
+  EXPECT_EQ(max_matching(sub).size, 1u);
+}
+
+TEST(Transpose, SwapsSides) {
+  BipartiteGraph g(2, 3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 0);
+  const BipartiteGraph t = g.transpose();
+  EXPECT_EQ(t.n_left(), 3u);
+  EXPECT_EQ(t.n_right(), 2u);
+  EXPECT_EQ(t.neighbors(2), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(t.neighbors(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(max_matching(g).size, max_matching(t).size);
+}
+
+}  // namespace
+}  // namespace fmm::graph

@@ -1,0 +1,224 @@
+// Tests for the exact optimal red–blue pebbler (pebble/optimal.hpp):
+// hand-computable instances, duality with heuristic simulation, and the
+// Section-V question "when does recomputation help?" answered exactly on
+// small DAGs.
+#include <gtest/gtest.h>
+
+#include "bilinear/catalog.hpp"
+#include "cdag/builder.hpp"
+#include "common/check.hpp"
+#include "pebble/machine.hpp"
+#include "pebble/optimal.hpp"
+#include "pebble/schedules.hpp"
+
+namespace fmm::pebble {
+namespace {
+
+PebbleInstance chain(std::size_t length) {
+  // in -> v1 -> v2 -> ... -> v_length (output).
+  PebbleInstance instance;
+  instance.graph = graph::Digraph(length + 1);
+  instance.inputs = {0};
+  for (graph::VertexId v = 0; v < length; ++v) {
+    instance.graph.add_edge(v, v + 1);
+  }
+  instance.outputs = {static_cast<graph::VertexId>(length)};
+  return instance;
+}
+
+PebbleInstance diamond() {
+  // 0 (input) -> {1, 2} -> 3 (output).
+  PebbleInstance instance;
+  instance.graph = graph::Digraph(4);
+  instance.inputs = {0};
+  instance.graph.add_edge(0, 1);
+  instance.graph.add_edge(0, 2);
+  instance.graph.add_edge(1, 3);
+  instance.graph.add_edge(2, 3);
+  instance.outputs = {3};
+  return instance;
+}
+
+TEST(OptimalPebble, ChainMinimumIsLoadPlusStore) {
+  // A chain needs exactly: load the input, compute along, store the
+  // output — 2 I/O operations, for any M >= 2.
+  for (const std::int64_t m : {2, 3, 8}) {
+    OptimalPebbleOptions options;
+    options.cache_size = m;
+    const auto result = optimal_io(chain(4), options);
+    EXPECT_EQ(result.min_io, 2) << "M=" << m;
+  }
+}
+
+TEST(OptimalPebble, ChainWithCacheOneIsUnsolvable) {
+  // M = 1 cannot hold an operand and its result simultaneously.
+  OptimalPebbleOptions options;
+  options.cache_size = 1;
+  EXPECT_THROW(optimal_io(chain(2), options), CheckError);
+}
+
+TEST(OptimalPebble, DiamondNeedsTwoIo) {
+  // Load input (1), compute 1, 2, 3 (free), store output (1) — M >= 3
+  // (operands {1,2} plus result 3).
+  OptimalPebbleOptions options;
+  options.cache_size = 3;
+  EXPECT_EQ(optimal_io(diamond(), options).min_io, 2);
+}
+
+TEST(OptimalPebble, DiamondCacheTwoIsUnsolvable) {
+  // Computing the join vertex needs both predecessors red plus a slot
+  // for the result: 3 pebbles; M = 2 cannot ever compute it.
+  OptimalPebbleOptions options;
+  options.cache_size = 2;
+  EXPECT_THROW(optimal_io(diamond(), options), CheckError);
+}
+
+TEST(OptimalPebble, RecomputationNeverHurts) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const PebbleInstance instance = random_instance(3, 6, 2, seed);
+    for (const std::int64_t m : {2, 3}) {
+      OptimalPebbleOptions with;
+      with.cache_size = m;
+      with.allow_recomputation = true;
+      OptimalPebbleOptions without = with;
+      without.allow_recomputation = false;
+      std::int64_t io_with = 0, io_without = 0;
+      try {
+        io_with = optimal_io(instance, with).min_io;
+        io_without = optimal_io(instance, without).min_io;
+      } catch (const CheckError&) {
+        continue;  // M too small for this instance
+      }
+      EXPECT_LE(io_with, io_without) << "seed=" << seed << " M=" << m;
+    }
+  }
+}
+
+TEST(OptimalPebble, RecomputationStrictlyHelpsSomewhere) {
+  // Section V: recomputation IS useful for some CDAGs (Savage).  The
+  // exact solver finds such instances among small random DAGs — a value
+  // gets evicted un-stored and is cheaper to recompute than to round-trip
+  // through slow memory.
+  int found = 0;
+  for (std::uint64_t seed = 0; seed < 40 && found == 0; ++seed) {
+    const PebbleInstance instance = random_instance(3, 7, 2, seed);
+    try {
+      if (recomputation_advantage(instance, 3) > 0) {
+        ++found;
+      }
+    } catch (const CheckError&) {
+      continue;
+    }
+  }
+  EXPECT_GT(found, 0) << "no instance with strict recomputation advantage "
+                         "found in the sweep";
+}
+
+PebbleInstance dot_product() {
+  // Mini matrix multiplication: C = a1*b1 + a2*b2.
+  // Vertices: 0..3 inputs (a1, a2, b1, b2), 4 = m1, 5 = m2, 6 = c.
+  PebbleInstance instance;
+  instance.graph = graph::Digraph(7);
+  instance.inputs = {0, 1, 2, 3};
+  instance.graph.add_edge(0, 4);
+  instance.graph.add_edge(2, 4);
+  instance.graph.add_edge(1, 5);
+  instance.graph.add_edge(3, 5);
+  instance.graph.add_edge(4, 6);
+  instance.graph.add_edge(5, 6);
+  instance.outputs = {6};
+  return instance;
+}
+
+PebbleInstance strassen_encoder() {
+  // The A-encoder of Strassen as a standalone DAG: 4 inputs feeding 7
+  // combination vertices (all outputs) — Figure 2 as a pebble instance.
+  const auto supports = bilinear::strassen().product_supports(
+      bilinear::Side::kA);
+  PebbleInstance instance;
+  instance.graph = graph::Digraph(4 + supports.size());
+  instance.inputs = {0, 1, 2, 3};
+  for (std::size_t r = 0; r < supports.size(); ++r) {
+    const auto v = static_cast<graph::VertexId>(4 + r);
+    for (const std::size_t x : supports[r]) {
+      instance.graph.add_edge(static_cast<graph::VertexId>(x), v);
+    }
+    instance.outputs.push_back(v);
+  }
+  return instance;
+}
+
+TEST(OptimalPebble, DotProductExactIo) {
+  // M >= 4: 4 input loads + 1 output store (m1 stays resident while
+  // {a2, b2} load).  M = 3 forces one intermediate round trip: m1 must
+  // be stored and reloaded (or its operands reloaded) -> 7 total.
+  for (const std::int64_t m : {4, 5, 7}) {
+    OptimalPebbleOptions options;
+    options.cache_size = m;
+    EXPECT_EQ(optimal_io(dot_product(), options).min_io, 5) << "M=" << m;
+  }
+  OptimalPebbleOptions tight;
+  tight.cache_size = 3;
+  EXPECT_EQ(optimal_io(dot_product(), tight).min_io, 7);
+}
+
+TEST(OptimalPebble, DotProductMonotoneInM) {
+  std::int64_t prev = INT64_MAX;
+  for (const std::int64_t m : {3, 4, 5}) {
+    OptimalPebbleOptions options;
+    options.cache_size = m;
+    const std::int64_t io = optimal_io(dot_product(), options).min_io;
+    EXPECT_LE(io, prev) << "M=" << m;
+    prev = io;
+  }
+}
+
+TEST(OptimalPebble, StrassenEncoderExactIo) {
+  // 4 loads + 7 stores = 11 with enough cache (inputs stay resident).
+  OptimalPebbleOptions options;
+  options.cache_size = 5;  // 4 inputs + 1 result slot suffice
+  EXPECT_EQ(optimal_io(strassen_encoder(), options).min_io, 11);
+}
+
+TEST(OptimalPebble, StrassenEncoderTightCache) {
+  // M = 3: inputs cannot all stay resident; extra loads are forced, but
+  // recomputation cannot help (encoder outputs are stored anyway).
+  const PebbleInstance instance = strassen_encoder();
+  OptimalPebbleOptions with;
+  with.cache_size = 3;
+  with.allow_recomputation = true;
+  OptimalPebbleOptions without = with;
+  without.allow_recomputation = false;
+  const auto io_with = optimal_io(instance, with).min_io;
+  const auto io_without = optimal_io(instance, without).min_io;
+  EXPECT_GT(io_with, 11);
+  EXPECT_EQ(io_with, io_without);
+}
+
+TEST(OptimalPebble, DotProductRecomputationUseless) {
+  // Values are used once — Table I's footnote for classical MM: there is
+  // no point in recomputation, and the exact optima agree.
+  for (const std::int64_t m : {3, 4}) {
+    EXPECT_EQ(recomputation_advantage(dot_product(), m), 0) << "M=" << m;
+  }
+}
+
+TEST(OptimalPebble, TooManyVerticesRejected) {
+  const cdag::Cdag cdag = cdag::build_cdag(bilinear::strassen(), 4);
+  OptimalPebbleOptions options;
+  EXPECT_THROW(optimal_io(to_instance(cdag), options), CheckError);
+}
+
+TEST(OptimalPebble, RandomInstanceShape) {
+  const PebbleInstance instance = random_instance(4, 8, 3, 99);
+  EXPECT_EQ(instance.graph.num_vertices(), 12u);
+  EXPECT_EQ(instance.inputs.size(), 4u);
+  EXPECT_FALSE(instance.outputs.empty());
+  EXPECT_TRUE(instance.graph.is_dag());
+  for (const graph::VertexId v : instance.inputs) {
+    EXPECT_EQ(instance.graph.in_degree(v), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fmm::pebble

@@ -1,0 +1,199 @@
+// Tests for the distributed communication simulators (CAPS Strassen,
+// classical 2D/3D) and the shared-memory parallel executor.
+#include <gtest/gtest.h>
+
+#include "bilinear/catalog.hpp"
+#include "bounds/formulas.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "linalg/matmul.hpp"
+#include "parallel/caps.hpp"
+#include "parallel/classical_comm.hpp"
+#include "parallel/parallel_strassen.hpp"
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+
+namespace fmm::parallel {
+namespace {
+
+TEST(Caps, SingleProcessorNoCommunication) {
+  const CapsResult r = simulate_caps(64, 1);
+  EXPECT_EQ(r.words_per_proc, 0);
+  EXPECT_EQ(r.bfs_steps, 0);
+  EXPECT_EQ(r.dfs_steps, 0);
+}
+
+TEST(Caps, UnlimitedMemoryUsesBfsOnly) {
+  const CapsResult r = simulate_caps(64, 49);
+  EXPECT_EQ(r.bfs_steps, 2);
+  EXPECT_EQ(r.dfs_steps, 0);
+  EXPECT_GT(r.words_per_proc, 0);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(Caps, LimitedMemoryForcesDfs) {
+  const std::int64_t n = 64;
+  // Memory just above 3n^2/P: BFS (needs 6.5 n^2/P) is infeasible at the
+  // top, forcing DFS steps first.
+  const std::int64_t p = 49;
+  const std::int64_t m = 4 * n * n / p;
+  const CapsResult r = simulate_caps(n, p, m);
+  EXPECT_GT(r.dfs_steps, 0);
+  EXPECT_GT(r.words_per_proc, simulate_caps(n, p).words_per_proc);
+}
+
+TEST(Caps, CommunicationAboveMemoryIndependentBound) {
+  // Unlimited memory: CAPS attains Θ(n^2 / P^{2/ω0}); measured words must
+  // sit above the bound value (constants are > 1 here).
+  for (const std::int64_t p : {7, 49, 343}) {
+    const std::int64_t n = 256;
+    const CapsResult r = simulate_caps(n, p);
+    const double bound = bounds::fast_memory_independent(
+        {static_cast<double>(n), 1.0, static_cast<double>(p)}, kOmega0);
+    EXPECT_GE(static_cast<double>(r.words_per_proc), bound / 4.0)
+        << "P=" << p;
+  }
+}
+
+TEST(Caps, CommunicationAboveMemoryDependentBoundWhenTight) {
+  const std::int64_t n = 256;
+  const std::int64_t p = 49;
+  const std::int64_t m = 3 * n * n / p;  // tight memory
+  const CapsResult r = simulate_caps(n, p, m);
+  const double bound = bounds::fast_parallel_bound(
+      {static_cast<double>(n), static_cast<double>(m),
+       static_cast<double>(p)},
+      kOmega0);
+  EXPECT_GE(static_cast<double>(r.words_per_proc), bound / 8.0);
+}
+
+TEST(Caps, StrongScalingReducesWords) {
+  const std::int64_t n = 512;
+  std::int64_t prev = INT64_MAX;
+  for (const std::int64_t p : {1, 7, 49, 343}) {
+    const CapsResult r = simulate_caps(n, p);
+    EXPECT_LT(r.words_per_proc, prev) << "P=" << p;
+    if (r.words_per_proc > 0) {
+      prev = r.words_per_proc;
+    }
+  }
+}
+
+TEST(Caps, RejectsNonPowerOf7) {
+  EXPECT_THROW(simulate_caps(64, 6), CheckError);
+  EXPECT_THROW(simulate_caps(64, 14), CheckError);
+}
+
+TEST(Caps, RejectsTooManyProcs) {
+  EXPECT_THROW(simulate_caps(2, 49), CheckError);
+}
+
+TEST(Cannon, CommunicationVolume) {
+  // 2 n^2 / sqrt(P) words per processor (tile shifts).
+  const ClassicalCommResult r = cannon_2d(64, 16);
+  EXPECT_EQ(r.words_per_proc, 2 * 16 * 16 * 4);  // 2*tile^2*grid
+  EXPECT_EQ(r.rounds, 4);
+  EXPECT_EQ(r.memory_per_proc, 3 * 16 * 16);
+}
+
+TEST(Cannon, MatchesMemoryDependentBoundShape) {
+  // With M = Θ(n^2/P), Cannon is optimal: measured/bound bounded.
+  for (const std::int64_t p : {4, 16, 64}) {
+    const std::int64_t n = 256;
+    const ClassicalCommResult r = cannon_2d(n, p);
+    const double m = 3.0 * n * n / static_cast<double>(p);
+    const double bound = bounds::classic_memory_dependent(
+        {static_cast<double>(n), m, static_cast<double>(p)});
+    const double ratio = static_cast<double>(r.words_per_proc) / bound;
+    EXPECT_GT(ratio, 0.3) << "P=" << p;
+    EXPECT_LT(ratio, 10.0) << "P=" << p;
+  }
+}
+
+TEST(Cannon, RejectsBadGrid) {
+  EXPECT_THROW(cannon_2d(64, 5), CheckError);
+  EXPECT_THROW(cannon_2d(10, 16), CheckError);  // 4 does not divide 10
+}
+
+TEST(Classical3d, CommunicationVolume) {
+  const ClassicalCommResult r = classical_3d(64, 64);  // grid 4
+  EXPECT_EQ(r.words_per_proc, 3 * 16 * 16);
+  EXPECT_EQ(r.rounds, 2);
+}
+
+TEST(Classical3d, MatchesMemoryIndependentBound) {
+  for (const std::int64_t p : {8, 64, 512}) {
+    const std::int64_t n = 512;
+    const ClassicalCommResult r = classical_3d(n, p);
+    const double bound = bounds::classic_memory_independent(
+        {static_cast<double>(n), 1.0, static_cast<double>(p)});
+    const double ratio = static_cast<double>(r.words_per_proc) / bound;
+    EXPECT_GT(ratio, 0.5) << "P=" << p;
+    EXPECT_LT(ratio, 6.0) << "P=" << p;
+  }
+}
+
+TEST(Classical3d, BeatsCannonAtScale)  {
+  const std::int64_t n = 512;
+  const std::int64_t p = 64;
+  EXPECT_LT(classical_3d(n, p).words_per_proc,
+            cannon_2d(n, p).words_per_proc);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelStrassen, MatchesOracleOneLevel) {
+  linalg::Mat a(32, 32), b(32, 32);
+  linalg::fill_random(a, 1);
+  linalg::fill_random(b, 2);
+  ParallelRunStats stats;
+  const linalg::Mat c =
+      multiply_parallel(bilinear::strassen(), a, b, 1, 4, &stats);
+  EXPECT_LT(linalg::max_abs_diff(c, linalg::multiply_naive(a, b)), 1e-8);
+  EXPECT_EQ(stats.tasks, 7u);
+  EXPECT_EQ(stats.threads, 4u);
+}
+
+TEST(ParallelStrassen, MatchesOracleTwoLevels) {
+  linalg::Mat a(64, 64), b(64, 64);
+  linalg::fill_random(a, 3);
+  linalg::fill_random(b, 4);
+  ParallelRunStats stats;
+  const linalg::Mat c =
+      multiply_parallel(bilinear::winograd(), a, b, 2, 0, &stats);
+  EXPECT_LT(linalg::max_abs_diff(c, linalg::multiply_naive(a, b)), 1e-8);
+  EXPECT_EQ(stats.tasks, 49u);
+}
+
+TEST(ParallelStrassen, TooSmallMatrixRejected) {
+  linalg::Mat a(2, 2), b(2, 2);
+  EXPECT_THROW(multiply_parallel(bilinear::strassen(), a, b, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace fmm::parallel
