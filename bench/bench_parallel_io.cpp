@@ -8,14 +8,28 @@
 #include "bounds/formulas.hpp"
 #include "common/math_util.hpp"
 #include "common/table.hpp"
+#include "common/timing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "parallel/caps.hpp"
 #include "parallel/classical_comm.hpp"
 #include "parallel/distsim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fmm;
 
+  const obs::ReportCli cli = obs::parse_report_cli(argc, argv);
+  obs::enable_tracing_if_available();
+  obs::Registry::instance().reset();
+
+  obs::RunReport report("bench_parallel_io");
+  report.set_param("experiment", "E2 parallel max{} crossover");
+  report.set_param("seed", static_cast<std::int64_t>(cli.seed));
+  Stopwatch total_watch;
+
   const std::int64_t n = 4096;
+  report.set_param("n", n);
   std::printf("=== E2: parallel bounds vs P at n=%lld ===\n\n",
               static_cast<long long>(n));
 
@@ -40,6 +54,9 @@ int main() {
     const double dep = bounds::fast_memory_dependent(params, kOmega0);
     const double indep = bounds::fast_memory_independent(params, kOmega0);
     const auto caps = parallel::simulate_caps(n, p, m);
+    report.add_bound_check("caps/P=" + std::to_string(p),
+                           std::max(dep, indep),
+                           static_cast<double>(caps.words_per_proc));
     table.begin_row();
     table.add_cell(p);
     table.add_cell(m);
@@ -80,6 +97,15 @@ int main() {
       for (const std::int64_t ne : {128, 256}) {
         const auto sim = parallel::simulate_caps_elementwise(ne, p);
         const auto model = parallel::simulate_caps(ne, p);
+        report.add_bound_check(
+            "distsim/n=" + std::to_string(ne) + "/P=" + std::to_string(p),
+            bounds::fast_memory_independent(
+                {static_cast<double>(ne), 1.0, static_cast<double>(p)},
+                kOmega0),
+            static_cast<double>(sim.max_words_per_proc()));
+        report.set_result("distsim.total_words/n=" + std::to_string(ne) +
+                              "/P=" + std::to_string(p),
+                          sim.total_words());
         exact.begin_row();
         exact.add_cell(ne);
         exact.add_cell(p);
@@ -141,5 +167,8 @@ int main() {
   std::printf("\nShape check: CAPS tracks max{dep, indep} within a small "
               "constant; the crossover between the two bound regimes "
               "moves with M as predicted by Theorem 1.1.\n");
+
+  report.add_phase_seconds("total", total_watch.seconds());
+  obs::finalize_run(cli, report);
   return 0;
 }

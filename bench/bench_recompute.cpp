@@ -16,11 +16,32 @@
 #include "cdag/builder.hpp"
 #include "common/math_util.hpp"
 #include "common/table.hpp"
+#include "common/timing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "pebble/machine.hpp"
 #include "pebble/schedules.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fmm;
+
+  const obs::ReportCli cli = obs::parse_report_cli(argc, argv);
+  obs::enable_tracing_if_available();
+  obs::Registry::instance().reset();
+
+  obs::RunReport report("bench_recompute");
+  report.set_param("experiment", "E3 recomputation vs the I/O lower bound");
+  report.set_param("seed", static_cast<std::int64_t>(cli.seed));
+  Stopwatch total_watch;
+  std::int64_t total_loads = 0;
+  std::int64_t total_stores = 0;
+  std::int64_t total_recomputes = 0;
+  const auto tally = [&](const pebble::SimResult& result) {
+    total_loads += result.loads;
+    total_stores += result.stores;
+    total_recomputes += result.recomputations;
+  };
 
   std::printf("=== E3: recomputation vs the I/O lower bound ===\n\n");
 
@@ -43,6 +64,11 @@ int main() {
       pebble::SimOptions standard;
       standard.cache_size = m;
       const auto normal = pebble::simulate(cdag, schedule, standard);
+      tally(normal);
+      report.add_bound_check("standard/n=" + std::to_string(n) +
+                                 "/M=" + std::to_string(m),
+                             bound,
+                             static_cast<double>(normal.total_io()));
       table.begin_row();
       table.add_cell(static_cast<std::uint64_t>(n));
       table.add_cell(m);
@@ -57,6 +83,11 @@ int main() {
       remat.writeback = pebble::WritebackPolicy::kDropRecomputable;
       const auto recomputed =
           pebble::simulate_with_recomputation(cdag, schedule, remat);
+      tally(recomputed);
+      report.add_bound_check("rematerializing/n=" + std::to_string(n) +
+                                 "/M=" + std::to_string(m),
+                             bound,
+                             static_cast<double>(recomputed.total_io()));
       table.begin_row();
       table.add_cell(static_cast<std::uint64_t>(n));
       table.add_cell(m);
@@ -79,6 +110,11 @@ int main() {
       options.writeback = pebble::WritebackPolicy::kDropIntermediates;
       const auto result = pebble::simulate_with_recomputation(
           cdag, pebble::dfs_schedule(cdag), options);
+      tally(result);
+      report.add_bound_check("full-recompute/n=" + std::to_string(n) +
+                                 "/M=" + std::to_string(m),
+                             bound_at(n, m),
+                             static_cast<double>(result.total_io()));
       table.begin_row();
       table.add_cell(static_cast<std::uint64_t>(n));
       table.add_cell(m);
@@ -105,13 +141,15 @@ int main() {
       bounds::ScheduleSummary summary;
       if (remat) {
         options.writeback = pebble::WritebackPolicy::kDropRecomputable;
-        summary = pebble::simulate_with_recomputation(
-                      cdag, pebble::dfs_schedule(cdag), options)
-                      .summary;
+        const auto result = pebble::simulate_with_recomputation(
+            cdag, pebble::dfs_schedule(cdag), options);
+        tally(result);
+        summary = result.summary;
       } else {
-        summary = pebble::simulate(cdag, pebble::dfs_schedule(cdag),
-                                   options)
-                      .summary;
+        const auto result =
+            pebble::simulate(cdag, pebble::dfs_schedule(cdag), options);
+        tally(result);
+        summary = result.summary;
       }
       const auto analysis = bounds::analyze_segments(cdag, summary, m);
       std::int64_t min_io = INT64_MAX;
@@ -132,5 +170,12 @@ int main() {
 
   std::printf("\nRecomputation trades arithmetic for I/O but never beats "
               "the bound — exactly Theorem 1.1's claim.\n");
+
+  report.set_result("loads", total_loads);
+  report.set_result("stores", total_stores);
+  report.set_result("total_io", total_loads + total_stores);
+  report.set_result("recomputations", total_recomputes);
+  report.add_phase_seconds("total", total_watch.seconds());
+  obs::finalize_run(cli, report);
   return 0;
 }

@@ -1,15 +1,20 @@
 // fmmio — command-line driver for the library.
 //
 //   fmmio list
-//   fmmio certify  <algorithm>
+//   fmmio certify  <algorithm> [--out report.json]
 //   fmmio bounds   --n N --m M [--p P]
 //   fmmio simulate <algorithm> --n N --m M [--schedule dfs|bfs|random]
 //                  [--policy lru|opt] [--remat] [--write-cost W]
+//                  [--out report.json] [--trace trace.json]
 //   fmmio cdag     <algorithm> --n N [--dot]
 //   fmmio parallel --n N --p P [--m M]
 //
 // Algorithms: strassen, winograd, strassen-dual, strassen-perm,
 //             winograd-dual, classic.
+//
+// --out writes a versioned JSON run report (docs/OBSERVABILITY.md);
+// --trace (or --out with tracing compiled in) writes a Chrome
+// trace-event JSON viewable in Perfetto.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,12 +25,17 @@
 #include "bounds/dominator_cert.hpp"
 #include "bounds/encoder_lemmas.hpp"
 #include "bounds/formulas.hpp"
+#include "bounds/report.hpp"
 #include "bounds/segments.hpp"
 #include "cdag/builder.hpp"
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "parallel/caps.hpp"
 #include "parallel/distsim.hpp"
 #include "pebble/liveness.hpp"
@@ -90,9 +100,21 @@ bilinear::BilinearAlgorithm pick(const std::string& name) {
   if (name == "strassen-perm") return bilinear::strassen_permuted();
   if (name == "winograd-dual") return bilinear::winograd_transposed();
   if (name == "classic") return bilinear::classic(2, 2, 2);
-  std::fprintf(stderr, "unknown algorithm '%s'; try `fmmio list`\n",
-               name.c_str());
+  FMM_LOG_ERROR("unknown algorithm '" << name << "'; try `fmmio list`");
   std::exit(2);
+}
+
+/// Report/trace plumbing shared by subcommands: reads --out/--trace/
+/// --seed, and runtime-enables tracing when a destination exists.
+obs::ReportCli report_cli_from(const Args& args) {
+  obs::ReportCli cli;
+  cli.out_path = args.get("out", "");
+  cli.trace_path = args.get("trace", "");
+  cli.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (!cli.out_path.empty() || !cli.trace_path.empty()) {
+    obs::enable_tracing_if_available();
+  }
+  return cli;
 }
 
 int cmd_list() {
@@ -127,6 +149,8 @@ int cmd_certify(const Args& args) {
     std::fprintf(stderr, "usage: fmmio certify <algorithm>\n");
     return 2;
   }
+  const obs::ReportCli cli = report_cli_from(args);
+  obs::Registry::instance().reset();
   const auto alg = pick(args.positional[1]);
   std::printf("Certifying %s\n", alg.name().c_str());
   std::printf("  Brent equations:        %s\n",
@@ -151,6 +175,13 @@ int cmd_certify(const Args& args) {
       cdag, 2, 5, bounds::ZChoice::kUniformRandom, rng);
   std::printf("  Lemma 3.7 (H^{8x8}):    %s (worst ratio %.2f)\n",
               dom.all_hold ? "PASS" : "FAIL", dom.worst_ratio);
+  if (cli.wants_report() || !cli.trace_path.empty()) {
+    obs::RunReport report("fmmio.certify");
+    bounds::certify_algorithm(alg).attach_to(report);
+    report.set_result("dominator_lemma37", dom.all_hold);
+    report.set_result("dominator_worst_ratio", dom.worst_ratio);
+    obs::finalize_run(cli, report);
+  }
   return 0;
 }
 
@@ -182,6 +213,8 @@ int cmd_simulate(const Args& args) {
     std::fprintf(stderr, "usage: fmmio simulate <algorithm> --n N --m M\n");
     return 2;
   }
+  const obs::ReportCli cli = report_cli_from(args);
+  obs::Registry::instance().reset();
   const auto alg = pick(args.positional[1]);
   const auto n = static_cast<std::size_t>(args.get_int("n", 16));
   const std::int64_t m = args.get_int("m", 64);
@@ -235,13 +268,44 @@ int cmd_simulate(const Args& args) {
                 pebble::min_cache_for_zero_spill(cdag, schedule));
   }
   // Segment analysis when the configuration admits it.
+  bool have_segments = false;
+  bool segments_hold = false;
+  std::size_t num_segments = 0;
   try {
     const auto analysis = bounds::analyze_segments(cdag, result.summary, m);
+    have_segments = true;
+    segments_hold = analysis.all_segments_hold;
+    num_segments = analysis.segments.size();
     std::printf("  Lemma 3.6 segments: %zu, all >= M I/O: %s\n",
-                analysis.segments.size(),
-                analysis.all_segments_hold ? "yes" : "NO");
+                num_segments, segments_hold ? "yes" : "NO");
   } catch (const CheckError&) {
     // M not a usable segment size for this n — fine.
+    FMM_LOG_DEBUG("segment analysis skipped: M=" << m
+                                                 << " not usable at n=" << n);
+  }
+  if (cli.wants_report() || !cli.trace_path.empty()) {
+    obs::RunReport report("fmmio.simulate");
+    report.set_param("algorithm", alg.name());
+    report.set_param("n", static_cast<std::int64_t>(n));
+    report.set_param("m", m);
+    report.set_param("schedule", schedule_kind);
+    report.set_param("policy", args.get("policy", "lru"));
+    report.set_param("remat", args.has("remat") ? "true" : "false");
+    report.set_param("seed", static_cast<std::int64_t>(cli.seed));
+    report.set_result("loads", result.loads);
+    report.set_result("stores", result.stores);
+    report.set_result("total_io", result.total_io());
+    report.set_result("weighted_io", result.weighted_io);
+    report.set_result("computations", result.computations);
+    report.set_result("recomputations", result.recomputations);
+    if (have_segments) {
+      report.set_result("lemma36_segments",
+                        static_cast<std::int64_t>(num_segments));
+      report.set_result("lemma36_all_hold", segments_hold);
+    }
+    report.add_bound_check("fast_memory_dependent", bound,
+                           static_cast<double>(result.total_io()));
+    obs::finalize_run(cli, report);
   }
   return 0;
 }
@@ -321,9 +385,9 @@ int main(int argc, char** argv) {
     if (command == "cdag") return cmd_cdag(args);
     if (command == "parallel") return cmd_parallel(args);
   } catch (const fmm::CheckError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    FMM_LOG_ERROR(e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  FMM_LOG_ERROR("unknown command '" << command << "'");
   return 2;
 }

@@ -5,6 +5,8 @@
 #include "bounds/grigoriev.hpp"
 #include "common/check.hpp"
 #include "graph/vertex_cut.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmm::bounds {
 
@@ -72,7 +74,11 @@ DominatorCertificate certify_dominator_bound(const cdag::Cdag& cdag,
                                              std::size_t r,
                                              std::size_t num_samples,
                                              ZChoice choice, Rng& rng) {
+  FMM_TRACE_SPAN("bounds.dominator_certification", "bounds");
   FMM_CHECK(cdag.subproblem_outputs.count(r) == 1);
+  obs::Registry::instance()
+      .counter("bounds.dominator.samples")
+      .add(static_cast<std::int64_t>(num_samples));
   DominatorCertificate cert;
   cert.all_hold = true;
   cert.worst_ratio = 1e300;

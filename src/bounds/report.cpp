@@ -58,6 +58,14 @@ std::string CertificationReport::to_json() const {
   return oss.str();
 }
 
+void CertificationReport::attach_to(obs::RunReport& report) const {
+  report.set_param("algorithm", algorithm);
+  report.set_result("brent_valid", brent_valid);
+  report.set_result("all_pass", all_pass());
+  report.set_result("omega", omega);
+  report.add_raw_section("certification", to_json());
+}
+
 CertificationReport certify_algorithm(
     const bilinear::BilinearAlgorithm& algorithm) {
   CertificationReport report;

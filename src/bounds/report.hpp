@@ -11,6 +11,7 @@
 
 #include "bilinear/algorithm.hpp"
 #include "bounds/encoder_lemmas.hpp"
+#include "obs/run_report.hpp"
 
 namespace fmm::bounds {
 
@@ -33,6 +34,11 @@ struct CertificationReport {
 
   /// JSON rendering (one object; stable field order).
   std::string to_json() const;
+
+  /// Embeds this certification into a run report (under
+  /// extra.certification) and records the headline pass/fail results,
+  /// so `fmmio certify --out` emits one schema-versioned file.
+  void attach_to(obs::RunReport& report) const;
 };
 
 /// Runs the full certification pipeline on `algorithm`.  Lemma checks

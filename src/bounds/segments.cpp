@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmm::bounds {
 
@@ -21,6 +23,7 @@ std::size_t segment_subproblem_size(std::int64_t cache_m) {
 SegmentAnalysis analyze_segments(const cdag::Cdag& cdag,
                                  const ScheduleSummary& schedule,
                                  std::int64_t cache_m) {
+  FMM_TRACE_SPAN("bounds.analyze_segments", "bounds");
   SegmentAnalysis analysis;
   analysis.cache_m = cache_m;
   analysis.r = segment_subproblem_size(cache_m);
@@ -65,6 +68,7 @@ SegmentAnalysis analyze_segments(const cdag::Cdag& cdag,
               : schedule.total_io;
       current.io = io_end - schedule.io_before[current.first_step];
       analysis.segments.push_back(current);
+      FMM_TRACE_INSTANT("segment", "bounds");
       open = false;
     }
   }
@@ -78,6 +82,10 @@ SegmentAnalysis analyze_segments(const cdag::Cdag& cdag,
     }
   }
   analysis.measured_total_io = schedule.total_io;
+  auto& registry = obs::Registry::instance();
+  registry.counter("bounds.segments.analyses").increment();
+  registry.counter("bounds.segments.closed")
+      .add(static_cast<std::int64_t>(analysis.segments.size()));
   return analysis;
 }
 

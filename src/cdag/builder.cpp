@@ -2,6 +2,8 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmm::cdag {
 
@@ -26,6 +28,7 @@ class Builder {
   }
 
   Cdag build() {
+    FMM_TRACE_SPAN("cdag.build", "cdag");
     cdag_.n = n_;
     cdag_.base = alg_.n();
     cdag_.num_products = alg_.num_products();
@@ -38,6 +41,12 @@ class Builder {
     for (const VertexId v : cdag_.outputs) {
       cdag_.roles[v] = Role::kOutput;
     }
+    auto& registry = obs::Registry::instance();
+    registry.counter("cdag.builds").increment();
+    registry.counter("cdag.vertices_built")
+        .add(static_cast<std::int64_t>(cdag_.graph.num_vertices()));
+    registry.counter("cdag.edges_built")
+        .add(static_cast<std::int64_t>(cdag_.graph.num_edges()));
     return std::move(cdag_);
   }
 

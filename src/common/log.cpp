@@ -1,0 +1,76 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace fmm {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* raw = std::getenv("FMM_LOG_LEVEL");
+  if (raw == nullptr || raw[0] == '\0') {
+    return LogLevel::kWarn;
+  }
+  std::string value(raw);
+  for (char& ch : value) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (value == "error" || value == "0") return LogLevel::kError;
+  if (value == "warn" || value == "warning" || value == "1")
+    return LogLevel::kWarn;
+  if (value == "info" || value == "2") return LogLevel::kInfo;
+  if (value == "debug" || value == "3") return LogLevel::kDebug;
+  std::fprintf(stderr,
+               "[fmm][warn] unrecognized FMM_LOG_LEVEL '%s'; using warn\n",
+               raw);
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view message) {
+  // One mutex keeps concurrent log lines unscrambled (thread_pool users).
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[fmm][%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+
+}  // namespace fmm

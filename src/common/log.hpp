@@ -1,0 +1,56 @@
+// Minimal leveled logger for diagnostics.
+//
+// Library code and binaries route human-oriented diagnostics (progress,
+// file-written notices, recoverable problems) through this instead of
+// raw std::cout/std::cerr, so measurement output (tables, JSON) stays
+// cleanly separable from chatter.  Messages go to stderr as
+// "[fmm][LEVEL] message".
+//
+// The threshold comes from the FMM_LOG_LEVEL environment variable
+// ("error" | "warn" | "info" | "debug", or 0-3), read once; default is
+// "warn" so ordinary runs print tables only.  set_log_level() overrides
+// it programmatically (tests, tools).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace fmm {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Current threshold (env-initialized on first call).
+LogLevel log_level();
+
+/// Programmatic override of the threshold.
+void set_log_level(LogLevel level);
+
+/// True iff a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+}  // namespace detail
+
+}  // namespace fmm
+
+/// FMM_LOG(kInfo, "built " << n << " vertices");
+#define FMM_LOG(level_, stream_expr)                                       \
+  do {                                                                     \
+    if (::fmm::log_enabled(::fmm::LogLevel::level_)) {                     \
+      std::ostringstream fmm_log_oss_;                                     \
+      fmm_log_oss_ << stream_expr;                                         \
+      ::fmm::detail::log_line(::fmm::LogLevel::level_,                     \
+                              fmm_log_oss_.str());                         \
+    }                                                                      \
+  } while (false)
+
+#define FMM_LOG_ERROR(stream_expr) FMM_LOG(kError, stream_expr)
+#define FMM_LOG_WARN(stream_expr) FMM_LOG(kWarn, stream_expr)
+#define FMM_LOG_INFO(stream_expr) FMM_LOG(kInfo, stream_expr)
+#define FMM_LOG_DEBUG(stream_expr) FMM_LOG(kDebug, stream_expr)

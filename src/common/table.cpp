@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace fmm {
 
@@ -140,6 +141,7 @@ void Table::write_csv_file(const std::string& path) const {
   std::ofstream out(path);
   FMM_CHECK_MSG(out.good(), "cannot open " << path);
   print_csv(out);
+  FMM_LOG_INFO("wrote CSV table (" << rows_.size() << " rows) to " << path);
 }
 
 }  // namespace fmm

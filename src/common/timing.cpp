@@ -1,2 +1,19 @@
-// timing.hpp is header-only; this TU anchors the library target.
 #include "common/timing.hpp"
+
+#include <atomic>
+
+namespace fmm {
+
+namespace {
+std::atomic<TimerSink*> g_sink{nullptr};
+}  // namespace
+
+TimerSink* global_timer_sink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+TimerSink* set_global_timer_sink(TimerSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+}  // namespace fmm

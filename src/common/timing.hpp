@@ -1,12 +1,19 @@
-// Lightweight wall-clock timing for examples and the benchmark harness.
+// Monotonic timing for examples, benches, and phase instrumentation.
+//
+// Everything here is std::chrono::steady_clock ONLY: timed paths must
+// never consult the wall clock (system_clock can jump under NTP and
+// would corrupt measured phase durations and trace timestamps).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
 
 namespace fmm {
 
-/// Monotonic wall-clock stopwatch.
+/// Monotonic stopwatch.
 class Stopwatch {
  public:
   Stopwatch() : start_(clock::now()) {}
@@ -29,6 +36,46 @@ class Stopwatch {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Receiver of ScopedTimer measurements.  The obs metrics registry
+/// implements this and installs itself as the global sink, so any layer
+/// can time a scope without depending on the obs module.
+class TimerSink {
+ public:
+  virtual ~TimerSink() = default;
+  virtual void record_duration(std::string_view name,
+                               std::int64_t nanos) = 0;
+};
+
+/// The process-wide sink (nullptr until one is installed).
+TimerSink* global_timer_sink();
+
+/// Installs `sink` (or nullptr to detach).  Returns the previous sink.
+TimerSink* set_global_timer_sink(TimerSink* sink);
+
+/// RAII scope timer: measures steady-clock time from construction to
+/// destruction and reports it to a TimerSink (the global one by
+/// default).  With no sink installed the timer is a cheap no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name,
+                       TimerSink* sink = global_timer_sink())
+      : name_(std::move(name)), sink_(sink) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->record_duration(name_, watch_.nanoseconds());
+    }
+  }
+
+ private:
+  std::string name_;
+  TimerSink* sink_;
+  Stopwatch watch_;
 };
 
 }  // namespace fmm

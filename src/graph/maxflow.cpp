@@ -4,6 +4,8 @@
 #include <deque>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmm::graph {
 
@@ -65,14 +67,23 @@ std::int64_t MaxFlow::dfs(std::size_t v, std::size_t t, std::int64_t pushed) {
 std::int64_t MaxFlow::run(std::size_t s, std::size_t t) {
   FMM_CHECK(s < head_.size() && t < head_.size() && s != t);
   FMM_CHECK_MSG(!ran_, "run() may be called once");
+  FMM_TRACE_SPAN("graph.maxflow", "graph");
   ran_ = true;
   std::int64_t total = 0;
+  std::int64_t augmentations = 0;
+  std::int64_t bfs_rounds = 0;
   while (bfs(s, t)) {
+    ++bfs_rounds;
     iter_.assign(head_.size(), 0);
     while (const std::int64_t got = dfs(s, t, kInfinity)) {
       total += got;
+      ++augmentations;
     }
   }
+  auto& registry = obs::Registry::instance();
+  registry.counter("graph.maxflow.augmentations").add(augmentations);
+  registry.counter("graph.maxflow.bfs_rounds").add(bfs_rounds);
+  registry.counter("graph.maxflow.runs").increment();
   return total;
 }
 

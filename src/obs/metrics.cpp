@@ -1,0 +1,65 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace fmm::obs {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() { set_global_timer_sink(this); }
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::snapshot()
+    const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size() + gauges_.size());
+    for (const auto& [name, c] : counters_) {
+      out.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : gauges_) {
+      out.emplace_back(name, g->value());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+}
+
+void Registry::record_duration(std::string_view name, std::int64_t nanos) {
+  counter(std::string(name) + ".ns").add(nanos);
+  counter(std::string(name) + ".calls").increment();
+}
+
+}  // namespace fmm::obs

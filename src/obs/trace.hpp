@@ -1,0 +1,115 @@
+// Structured execution tracer emitting Chrome trace-event JSON.
+//
+// Scoped spans mark phases (CDAG build, schedule execution, segment
+// analysis, dominator certification); instant events mark point
+// occurrences (evictions, recomputations).  The output is the Chrome
+// trace-event "JSON object format" ({"traceEvents": [...]}) and opens
+// directly in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Two gates:
+//   - compile time: the CMake option FMM_ENABLE_TRACING sets the
+//     FMM_TRACING_ENABLED macro.  When 0, the FMM_TRACE_* macros expand
+//     to nothing — zero code in the simulators, bit-identical results.
+//   - run time: even when compiled in, the tracer records nothing until
+//     Tracer::instance().enable(true) (benches enable it; library code
+//     never does).
+//
+// Timestamps are steady_clock microseconds relative to tracer creation
+// (trace viewers only need relative time; wall clock is never read).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef FMM_TRACING_ENABLED
+#define FMM_TRACING_ENABLED 1
+#endif
+
+namespace fmm::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'i';      // 'B' begin span, 'E' end span, 'i' instant
+  double ts_us = 0.0;    // microseconds since tracer creation
+  std::uint32_t tid = 0;
+};
+
+/// Thread-safe event buffer with JSON rendering.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Runtime gate; default off.
+  void enable(bool on);
+  bool enabled() const;
+
+  void begin(const char* name, const char* category);
+  void end(const char* name, const char* category);
+  void instant(const char* name, const char* category);
+
+  /// Buffer capacity (default 1<<18 events).  Beyond it, INSTANT events
+  /// are dropped (and counted — see dropped_events()); span begin/end
+  /// pairs are always recorded so spans stay balanced.  Evictions on a
+  /// large run number in the millions; an unbounded buffer would turn
+  /// one bench run into a multi-GB trace.
+  void set_capacity(std::size_t max_events);
+  std::size_t dropped_events() const;
+
+  std::size_t num_events() const;
+  void clear();
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome
+  /// trace-event JSON object format.
+  std::string to_json() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  Tracer();
+  void record(const char* name, const char* category, char phase);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runtime-enables tracing iff it was compiled in (FMM_ENABLE_TRACING).
+/// Returns whether tracing is now active.  Benches/examples call this
+/// once at startup; library code never toggles the tracer.
+bool enable_tracing_if_available();
+
+/// RAII begin/end span pair.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category)
+      : name_(name), category_(category) {
+    Tracer::instance().begin(name_, category_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { Tracer::instance().end(name_, category_); }
+
+ private:
+  const char* name_;
+  const char* category_;
+};
+
+}  // namespace fmm::obs
+
+// Instrumentation macros — the only interface library code uses, so an
+// FMM_ENABLE_TRACING=OFF build compiles the simulators with no tracing
+// code at all.
+#if FMM_TRACING_ENABLED
+#define FMM_TRACE_CONCAT_IMPL(a, b) a##b
+#define FMM_TRACE_CONCAT(a, b) FMM_TRACE_CONCAT_IMPL(a, b)
+/// Span covering the rest of the enclosing scope.
+#define FMM_TRACE_SPAN(name, category)                                     \
+  ::fmm::obs::ScopedSpan FMM_TRACE_CONCAT(fmm_trace_span_, __LINE__)(      \
+      name, category)
+/// Zero-duration point event.
+#define FMM_TRACE_INSTANT(name, category)                                  \
+  ::fmm::obs::Tracer::instance().instant(name, category)
+#else
+#define FMM_TRACE_SPAN(name, category) ((void)0)
+#define FMM_TRACE_INSTANT(name, category) ((void)0)
+#endif

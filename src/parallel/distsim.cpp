@@ -5,6 +5,8 @@
 #include "bilinear/catalog.hpp"
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmm::parallel {
 
@@ -37,6 +39,7 @@ class Simulator {
   }
 
   DistSimResult run(std::int64_t n) {
+    FMM_TRACE_SPAN("parallel.distsim", "parallel");
     std::vector<int> group(result_.sent.size());
     for (std::size_t p = 0; p < group.size(); ++p) {
       group[p] = static_cast<int>(p);
@@ -44,6 +47,13 @@ class Simulator {
     const Owners owner_a = layout(group, n);
     const Owners owner_b = layout(group, n);
     multiply(n, group, owner_a, owner_b);
+    auto& registry = obs::Registry::instance();
+    registry.counter("parallel.distsim.words_sent")
+        .add(result_.total_words());
+    registry.counter("parallel.distsim.bfs_steps").add(result_.bfs_steps);
+    registry.counter("parallel.distsim.runs").increment();
+    registry.gauge("parallel.distsim.max_words_per_proc")
+        .record_max(result_.max_words_per_proc());
     return std::move(result_);
   }
 

@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pebble/schedules.hpp"
 
 namespace fmm::pebble {
 
 LivenessProfile liveness_profile(
     const cdag::Cdag& cdag, const std::vector<graph::VertexId>& schedule) {
+  FMM_TRACE_SPAN("pebble.liveness_profile", "pebble");
   FMM_CHECK_MSG(is_valid_schedule(cdag, schedule),
                 "liveness profiling requires a valid non-recomputing "
                 "schedule");
@@ -58,6 +61,10 @@ LivenessProfile liveness_profile(
       profile.peak_step = i;
     }
   }
+  auto& registry = obs::Registry::instance();
+  registry.counter("pebble.liveness.profiles").increment();
+  registry.gauge("pebble.liveness.peak").record_max(
+      static_cast<std::int64_t>(profile.peak));
   return profile;
 }
 

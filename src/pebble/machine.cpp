@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fmm::pebble {
 
@@ -64,6 +66,9 @@ class Cache {
   }
 
   bool droppable(graph::VertexId v) const { return droppable_[v]; }
+
+  std::int64_t evictions() const { return evictions_; }
+  std::int64_t drops() const { return drops_; }
 
   /// Called when consumer `v` is computed for the FIRST time: each of
   /// its operands has one fewer outstanding consumer.  This gives an
@@ -187,9 +192,14 @@ class Cache {
       if (keep) {
         ++result.stores;
         in_slow_[victim] = true;
+      } else {
+        // Value dropped — recomputation will be required if reused.
+        ++drops_;
+        FMM_TRACE_INSTANT("drop", "pebble");
       }
-      // else: value dropped — recomputation will be required if reused.
     }
+    ++evictions_;
+    FMM_TRACE_INSTANT("evict", "pebble");
     index_.erase({key_[victim], victim});
     resident_[victim] = false;
     dirty_[victim] = false;
@@ -210,7 +220,22 @@ class Cache {
   std::set<std::pair<std::uint64_t, graph::VertexId>> index_;
   std::int64_t occupancy_ = 0;
   std::uint64_t clock_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t drops_ = 0;
 };
+
+/// Flushes one execution's tallies into the global metrics registry.
+/// Hot loops only touch locals; the registry sees one add per run.
+void flush_machine_metrics(const SimResult& result, const Cache& cache) {
+  auto& registry = obs::Registry::instance();
+  registry.counter("pebble.loads").add(result.loads);
+  registry.counter("pebble.stores").add(result.stores);
+  registry.counter("pebble.evictions").add(cache.evictions());
+  registry.counter("pebble.drops").add(cache.drops());
+  registry.counter("pebble.computations").add(result.computations);
+  registry.counter("pebble.recomputations").add(result.recomputations);
+  registry.counter("pebble.simulations").increment();
+}
 
 }  // namespace
 
@@ -218,6 +243,7 @@ SimResult simulate(const cdag::Cdag& cdag,
                    const std::vector<graph::VertexId>& schedule,
                    const SimOptions& options) {
   FMM_CHECK(options.cache_size >= 2);
+  FMM_TRACE_SPAN("pebble.simulate", "pebble");
   SimResult result;
   Cache cache(cdag, options);
 
@@ -279,6 +305,7 @@ SimResult simulate(const cdag::Cdag& cdag,
     ++result.computations;
     if (computed_once[v]) {
       ++result.recomputations;
+      FMM_TRACE_INSTANT("recompute", "pebble");
     } else {
       for (const graph::VertexId u : preds) {
         cache.retire_consumer_of(u);
@@ -296,6 +323,7 @@ SimResult simulate(const cdag::Cdag& cdag,
   result.summary.total_io = result.total_io();
   result.weighted_io =
       options.read_cost * result.loads + options.write_cost * result.stores;
+  flush_machine_metrics(result, cache);
   return result;
 }
 
@@ -310,6 +338,7 @@ class RecomputeRunner {
         cache_(cdag, options) {}
 
   SimResult run(const std::vector<graph::VertexId>& base_order) {
+    FMM_TRACE_SPAN("pebble.simulate_with_recomputation", "pebble");
     for (const graph::VertexId v : base_order) {
       if (!computed_once_[v]) {
         compute(v, /*depth=*/0);
@@ -321,6 +350,7 @@ class RecomputeRunner {
     result_.summary.total_io = result_.total_io();
     result_.weighted_io = options_.read_cost * result_.loads +
                           options_.write_cost * result_.stores;
+    flush_machine_metrics(result_, cache_);
     return std::move(result_);
   }
 
@@ -372,6 +402,7 @@ class RecomputeRunner {
     ++result_.computations;
     if (computed_once_[v]) {
       ++result_.recomputations;
+      FMM_TRACE_INSTANT("recompute", "pebble");
     } else {
       for (const graph::VertexId u : preds) {
         cache_.retire_consumer_of(u);
