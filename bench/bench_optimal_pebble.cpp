@@ -26,22 +26,23 @@ int main() {
   const auto dot_product = [](std::size_t k) {
     // C = sum_i a_i * b_i (2k inputs, k products, k-1 adds).
     PebbleInstance instance;
-    instance.graph = graph::Digraph(3 * k + (k - 1));
+    graph::GraphBuilder builder(3 * k + (k - 1));
     for (graph::VertexId v = 0; v < 2 * k; ++v) {
       instance.inputs.push_back(v);
     }
     for (std::size_t i = 0; i < k; ++i) {
       const auto prod = static_cast<graph::VertexId>(2 * k + i);
-      instance.graph.add_edge(static_cast<graph::VertexId>(i), prod);
-      instance.graph.add_edge(static_cast<graph::VertexId>(k + i), prod);
+      builder.add_edge(static_cast<graph::VertexId>(i), prod);
+      builder.add_edge(static_cast<graph::VertexId>(k + i), prod);
     }
     graph::VertexId acc = static_cast<graph::VertexId>(2 * k);
     for (std::size_t i = 1; i < k; ++i) {
       const auto sum = static_cast<graph::VertexId>(3 * k + i - 1);
-      instance.graph.add_edge(acc, sum);
-      instance.graph.add_edge(static_cast<graph::VertexId>(2 * k + i), sum);
+      builder.add_edge(acc, sum);
+      builder.add_edge(static_cast<graph::VertexId>(2 * k + i), sum);
       acc = sum;
     }
+    instance.graph = builder.freeze();
     instance.outputs = {acc};
     return instance;
   };
@@ -88,15 +89,16 @@ int main() {
     const auto supports =
         bilinear::strassen().product_supports(bilinear::Side::kA);
     PebbleInstance enc;
-    enc.graph = graph::Digraph(4 + supports.size());
+    graph::GraphBuilder builder(4 + supports.size());
     enc.inputs = {0, 1, 2, 3};
     for (std::size_t r = 0; r < supports.size(); ++r) {
       const auto v = static_cast<graph::VertexId>(4 + r);
       for (const std::size_t x : supports[r]) {
-        enc.graph.add_edge(static_cast<graph::VertexId>(x), v);
+        builder.add_edge(static_cast<graph::VertexId>(x), v);
       }
       enc.outputs.push_back(v);
     }
+    enc.graph = builder.freeze();
     for (const std::int64_t m : {3, 4, 5}) {
       report("strassen A-encoder", enc, m);
     }

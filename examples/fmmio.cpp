@@ -312,14 +312,16 @@ int cmd_simulate(const Args& args) {
 
 int cmd_cdag(const Args& args) {
   if (args.positional.size() < 2) {
-    std::fprintf(stderr, "usage: fmmio cdag <algorithm> --n N [--dot]\n");
+    std::fprintf(stderr,
+                 "usage: fmmio cdag <algorithm> --n N [--dot [--force]]\n");
     return 2;
   }
   const auto alg = pick(args.positional[1]);
   const auto n = static_cast<std::size_t>(args.get_int("n", 4));
   const cdag::Cdag cdag = cdag::build_cdag(alg, n);
   if (args.has("dot")) {
-    std::cout << cdag.to_dot();
+    // Large CDAGs render to unusable multi-GB DOT; require --force.
+    std::cout << cdag.to_dot(args.has("force"));
     return 0;
   }
   std::printf("H^{%zux%zu} of %s: %zu vertices, %zu edges\n", n, n,
@@ -328,10 +330,10 @@ int cmd_cdag(const Args& args) {
   for (const auto& [role, count] : cdag.role_histogram()) {
     std::printf("  %-5s %zu\n", cdag::role_name(role), count);
   }
-  for (const auto& [r, subs] : cdag.subproblem_outputs) {
+  for (const auto& level : cdag.subproblem_levels) {
     std::printf("  SUB_H^{%zux%zu}: %zu sub-problems, %zu output "
                 "vertices\n",
-                r, r, subs.size(), cdag.sub_outputs_flat(r).size());
+                level.r, level.r, level.count, level.output_pool.size());
   }
   return 0;
 }

@@ -92,13 +92,10 @@ int main(int argc, char** argv) {
   const cdag::Cdag cdag = cdag::build_cdag(alg, n);
   {
     bool ok = true;
-    for (const auto& [r, subs] : cdag.subproblem_outputs) {
-      const std::size_t expected = cdag::expected_sub_output_count(alg, n, r);
-      std::size_t total = 0;
-      for (const auto& sub : subs) {
-        total += sub.size();
-      }
-      ok &= (total == expected);
+    for (const auto& level : cdag.subproblem_levels) {
+      const std::size_t expected =
+          cdag::expected_sub_output_count(alg, n, level.r);
+      ok &= (level.output_pool.size() == expected);
     }
     all_ok &= ok;
     std::printf("[%s] Lemma 2.2: |V_out(SUB_H^{r x r})| = (n/r)^{log2 7} "

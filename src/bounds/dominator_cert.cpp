@@ -1,6 +1,7 @@
 #include "bounds/dominator_cert.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "bounds/grigoriev.hpp"
 #include "common/check.hpp"
@@ -20,16 +21,17 @@ namespace {
 
 std::vector<graph::VertexId> choose_z(const cdag::Cdag& cdag, std::size_t r,
                                       ZChoice choice, Rng& rng) {
-  const auto& subs = cdag.subproblem_outputs.at(r);
+  const cdag::SubproblemLevel& level = cdag.subproblems(r);
   const std::size_t z_target = r * r;
   switch (choice) {
     case ZChoice::kSingleSubproblem: {
       const std::size_t pick =
-          static_cast<std::size_t>(rng.uniform(subs.size()));
-      return subs[pick];
+          static_cast<std::size_t>(rng.uniform(level.count));
+      const auto outs = level.outputs_of(pick);
+      return {outs.begin(), outs.end()};
     }
     case ZChoice::kUniformRandom: {
-      const std::vector<graph::VertexId> flat = cdag.sub_outputs_flat(r);
+      const std::span<const graph::VertexId> flat = cdag.sub_outputs_flat(r);
       std::vector<graph::VertexId> z;
       for (const std::size_t idx :
            rng.sample_without_replacement(flat.size(), z_target)) {
@@ -39,13 +41,13 @@ std::vector<graph::VertexId> choose_z(const cdag::Cdag& cdag, std::size_t r,
     }
     case ZChoice::kColumnSlices: {
       // Take ceil(r^2 / k) outputs from each of k distinct sub-problems.
-      const std::size_t k = std::min<std::size_t>(subs.size(), r);
+      const std::size_t k = std::min<std::size_t>(level.count, r);
       std::vector<std::size_t> picks =
-          rng.sample_without_replacement(subs.size(), k);
+          rng.sample_without_replacement(level.count, k);
       std::vector<graph::VertexId> z;
       std::size_t need = z_target;
       for (std::size_t i = 0; i < k && need > 0; ++i) {
-        const auto& sub = subs[picks[i]];
+        const auto sub = level.outputs_of(picks[i]);
         const std::size_t take =
             std::min(need, (z_target + k - 1) / k);
         for (std::size_t e = 0; e < take && e < sub.size(); ++e) {
@@ -54,8 +56,9 @@ std::vector<graph::VertexId> choose_z(const cdag::Cdag& cdag, std::size_t r,
         }
       }
       // Top up from the first picked sub-problem if rounding left a gap.
-      for (std::size_t e = 0; need > 0 && e < subs[picks[0]].size(); ++e) {
-        const graph::VertexId v = subs[picks[0]][e];
+      const auto first_sub = level.outputs_of(picks[0]);
+      for (std::size_t e = 0; need > 0 && e < first_sub.size(); ++e) {
+        const graph::VertexId v = first_sub[e];
         if (std::find(z.begin(), z.end(), v) == z.end()) {
           z.push_back(v);
           --need;
@@ -75,7 +78,7 @@ DominatorCertificate certify_dominator_bound(const cdag::Cdag& cdag,
                                              std::size_t num_samples,
                                              ZChoice choice, Rng& rng) {
   FMM_TRACE_SPAN("bounds.dominator_certification", "bounds");
-  FMM_CHECK(cdag.subproblem_outputs.count(r) == 1);
+  FMM_CHECK(cdag.has_subproblems(r));
   obs::Registry::instance()
       .counter("bounds.dominator.samples")
       .add(static_cast<std::int64_t>(num_samples));
@@ -113,24 +116,22 @@ std::vector<PathSample> certify_disjoint_paths(const cdag::Cdag& cdag,
   // 2 r sqrt(|Z| - 2|Γ|).
   std::vector<PathSample> samples;
   const std::vector<graph::VertexId> inputs = cdag.all_inputs();
-  const auto& sub_outs = cdag.subproblem_outputs.at(r);
-  const auto& sub_ins = cdag.subproblem_inputs.at(r);
-  FMM_CHECK(sub_outs.size() == sub_ins.size());
+  const cdag::SubproblemLevel& level = cdag.subproblems(r);
 
   for (std::size_t s = 0; s < num_samples; ++s) {
     const std::size_t pick =
-        static_cast<std::size_t>(rng.uniform(sub_outs.size()));
-    const std::vector<graph::VertexId>& z = sub_outs[pick];
+        static_cast<std::size_t>(rng.uniform(level.count));
+    const std::span<const graph::VertexId> z = level.outputs_of(pick);
 
     // Γ ⊆ V_int of the chosen sub-problem, |Γ| < |Z| / 2.
     std::vector<graph::VertexId> internal;
     {
-      const auto& span = cdag.subproblem_spans.at(r)[pick];
+      const auto [span_begin, span_end] = level.span_of(pick);
       std::vector<bool> is_output(cdag.graph.num_vertices(), false);
       for (const graph::VertexId v : z) {
         is_output[v] = true;
       }
-      for (graph::VertexId v = span.first; v < span.second; ++v) {
+      for (graph::VertexId v = span_begin; v < span_end; ++v) {
         if (!is_output[v]) {
           internal.push_back(v);
         }
@@ -171,7 +172,7 @@ std::vector<PathSample> certify_disjoint_paths(const cdag::Cdag& cdag,
       }
     }
     std::vector<graph::VertexId> y_candidates;
-    for (const graph::VertexId y : sub_ins[pick]) {
+    for (const graph::VertexId y : level.inputs_of(pick)) {
       if (reaches_z[y]) {
         y_candidates.push_back(y);
       }

@@ -27,7 +27,7 @@ SegmentAnalysis analyze_segments(const cdag::Cdag& cdag,
   SegmentAnalysis analysis;
   analysis.cache_m = cache_m;
   analysis.r = segment_subproblem_size(cache_m);
-  FMM_CHECK_MSG(cdag.subproblem_outputs.count(analysis.r) == 1,
+  FMM_CHECK_MSG(cdag.has_subproblems(analysis.r),
                 "CDAG has no sub-problems of size " << analysis.r
                                                     << " (n too small?)");
   FMM_CHECK(schedule.compute_order.size() == schedule.io_before.size());

@@ -1,5 +1,8 @@
 #include "cdag/builder.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.hpp"
 #include "common/math_util.hpp"
 #include "obs/metrics.hpp"
@@ -34,6 +37,8 @@ class Builder {
     cdag_.num_products = alg_.num_products();
     cdag_.algorithm_name = alg_.name();
 
+    prepare_levels();
+
     cdag_.inputs_a = add_vertices(n_ * n_, Role::kInputA);
     cdag_.inputs_b = add_vertices(n_ * n_, Role::kInputB);
 
@@ -41,6 +46,9 @@ class Builder {
     for (const VertexId v : cdag_.outputs) {
       cdag_.roles[v] = Role::kOutput;
     }
+
+    cdag_.graph = gb_.freeze();
+
     auto& registry = obs::Registry::instance();
     registry.counter("cdag.builds").increment();
     registry.counter("cdag.vertices_built")
@@ -51,8 +59,47 @@ class Builder {
   }
 
  private:
+  /// Lays out one SubproblemLevel per size r (ascending powers of the
+  /// base up to n), each with t^{log_b(n/r)} sub-problems (Lemma 2.2),
+  /// and preallocates the flat pools.  The recursion then fills slots via
+  /// per-level cursors: same-size calls are siblings (never interleaved),
+  /// so the k-th entry at size r is also the k-th exit, and one cursor
+  /// captured at entry addresses both the input and output pools.
+  void prepare_levels() {
+    const std::size_t base = alg_.n();
+    std::vector<std::size_t> sizes;
+    for (std::size_t r = 1; r <= n_; r *= base) {
+      sizes.push_back(r);
+    }
+    cdag_.subproblem_levels.resize(sizes.size());
+    cursors_.assign(sizes.size(), 0);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      SubproblemLevel& level = cdag_.subproblem_levels[i];
+      level.r = sizes[i];
+      const auto depth = static_cast<int>(sizes.size() - 1 - i);
+      level.count = static_cast<std::size_t>(ipow_checked(
+          static_cast<std::int64_t>(alg_.num_products()), depth));
+      level.output_pool.resize(level.count * level.outputs_per_sub());
+      level.input_pool.resize(level.count * level.inputs_per_sub());
+      level.span_begin.resize(level.count);
+      level.span_end.resize(level.count);
+    }
+  }
+
+  /// Index into subproblem_levels for size s (levels hold ascending
+  /// powers of the base, so this is log_base(s)).
+  std::size_t level_index(std::size_t s) const {
+    const std::size_t base = alg_.n();
+    std::size_t idx = 0;
+    while (s > 1) {
+      s /= base;
+      ++idx;
+    }
+    return idx;
+  }
+
   std::vector<VertexId> add_vertices(std::size_t count, Role role) {
-    const VertexId first = cdag_.graph.add_vertices(count);
+    const VertexId first = gb_.add_vertices(count);
     cdag_.roles.resize(cdag_.roles.size() + count, role);
     std::vector<VertexId> ids(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -87,9 +134,8 @@ class Builder {
         const std::size_t bj = q % base;
         for (std::size_t ei = 0; ei < sub; ++ei) {
           for (std::size_t ej = 0; ej < sub; ++ej) {
-            cdag_.graph.add_edge(
-                elems[blocked_index(s, sub, bi, bj, ei, ej)],
-                encoded[r][ei * sub + ej]);
+            gb_.add_edge(elems[blocked_index(s, sub, bi, bj, ei, ej)],
+                         encoded[r][ei * sub + ej]);
           }
         }
       }
@@ -101,25 +147,30 @@ class Builder {
                                       const std::vector<VertexId>& a,
                                       const std::vector<VertexId>& b) {
     FMM_CHECK(a.size() == s * s && b.size() == s * s);
-    {
-      std::vector<VertexId> operand_ids = a;
-      operand_ids.insert(operand_ids.end(), b.begin(), b.end());
-      cdag_.subproblem_inputs[s].push_back(std::move(operand_ids));
-    }
+    SubproblemLevel& level = cdag_.subproblem_levels[level_index(s)];
+    const std::size_t idx = cursors_[level_index(s)]++;
+    FMM_CHECK(idx < level.count);
+    std::copy(a.begin(), a.end(),
+              level.input_pool.begin() +
+                  static_cast<std::ptrdiff_t>(idx * level.inputs_per_sub()));
+    std::copy(b.begin(), b.end(),
+              level.input_pool.begin() +
+                  static_cast<std::ptrdiff_t>(idx * level.inputs_per_sub() +
+                                              s * s));
     if (s == 1) {
-      const auto begin = static_cast<VertexId>(cdag_.graph.num_vertices());
+      const auto begin = static_cast<VertexId>(gb_.num_vertices());
       const std::vector<VertexId> v = add_vertices(1, Role::kProduct);
-      cdag_.graph.add_edge(a[0], v[0]);
-      cdag_.graph.add_edge(b[0], v[0]);
-      cdag_.subproblem_outputs[1].push_back(v);
-      cdag_.subproblem_spans[1].emplace_back(
-          begin, static_cast<VertexId>(cdag_.graph.num_vertices()));
+      gb_.add_edge(a[0], v[0]);
+      gb_.add_edge(b[0], v[0]);
+      level.output_pool[idx] = v[0];
+      level.span_begin[idx] = begin;
+      level.span_end[idx] = static_cast<VertexId>(gb_.num_vertices());
       return v;
     }
 
     const std::size_t base = alg_.n();
     const std::size_t sub = s / base;
-    const auto span_begin = static_cast<VertexId>(cdag_.graph.num_vertices());
+    const auto span_begin = static_cast<VertexId>(gb_.num_vertices());
 
     const auto a_tilde = encode(alg_.u(), a, s, Role::kEncodeA);
     const auto b_tilde = encode(alg_.v(), b, s, Role::kEncodeB);
@@ -142,7 +193,7 @@ class Builder {
           continue;
         }
         for (std::size_t e = 0; e < sub * sub; ++e) {
-          cdag_.graph.add_edge(products[r][e], block[e]);
+          gb_.add_edge(products[r][e], block[e]);
         }
       }
       for (std::size_t ei = 0; ei < sub; ++ei) {
@@ -153,14 +204,18 @@ class Builder {
       }
     }
 
-    cdag_.subproblem_outputs[s].push_back(outputs);
-    cdag_.subproblem_spans[s].emplace_back(
-        span_begin, static_cast<VertexId>(cdag_.graph.num_vertices()));
+    std::copy(outputs.begin(), outputs.end(),
+              level.output_pool.begin() +
+                  static_cast<std::ptrdiff_t>(idx * level.outputs_per_sub()));
+    level.span_begin[idx] = span_begin;
+    level.span_end[idx] = static_cast<VertexId>(gb_.num_vertices());
     return outputs;
   }
 
   const BilinearAlgorithm& alg_;
   std::size_t n_;
+  graph::GraphBuilder gb_;
+  std::vector<std::size_t> cursors_;
   Cdag cdag_;
 };
 

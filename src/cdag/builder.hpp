@@ -19,8 +19,8 @@ namespace fmm::cdag {
 ///   - symmetrically EncodeB,
 ///   - a recursive sub-CDAG per product,
 ///   - one Decode vertex per element of each output quadrant.
-/// Every r x r sub-problem's r^2 output vertices are registered in
-/// Cdag::subproblem_outputs.
+/// Every r x r sub-problem's r^2 output vertices are registered in the
+/// size-r Cdag::subproblem_levels entry.
 Cdag build_cdag(const bilinear::BilinearAlgorithm& algorithm, std::size_t n);
 
 /// |V_out(SUB_H^{r x r})| predicted by Lemma 2.2: (n/r)^{log_b t} * r^2.

@@ -28,33 +28,45 @@ const char* role_name(Role role) {
   return "?";
 }
 
+bool Cdag::has_subproblems(std::size_t r) const {
+  for (const SubproblemLevel& level : subproblem_levels) {
+    if (level.r == r) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const SubproblemLevel& Cdag::subproblems(std::size_t r) const {
+  for (const SubproblemLevel& level : subproblem_levels) {
+    if (level.r == r) {
+      return level;
+    }
+  }
+  FMM_CHECK_MSG(false,
+                "no sub-problems of size " << r << " tracked for n=" << n);
+  return subproblem_levels.front();  // unreachable
+}
+
 std::vector<graph::VertexId> Cdag::all_inputs() const {
   std::vector<graph::VertexId> result = inputs_a;
   result.insert(result.end(), inputs_b.begin(), inputs_b.end());
   return result;
 }
 
-std::vector<graph::VertexId> Cdag::sub_outputs_flat(std::size_t r) const {
-  const auto it = subproblem_outputs.find(r);
-  FMM_CHECK_MSG(it != subproblem_outputs.end(),
-                "no sub-problems of size " << r << " tracked for n=" << n);
-  std::vector<graph::VertexId> flat;
-  for (const auto& sub : it->second) {
-    flat.insert(flat.end(), sub.begin(), sub.end());
-  }
-  return flat;
+std::span<const graph::VertexId> Cdag::sub_outputs_flat(std::size_t r) const {
+  return subproblems(r).output_pool;
 }
 
 std::vector<graph::VertexId> Cdag::sub_internal_vertices(std::size_t r) const {
-  const auto span_it = subproblem_spans.find(r);
-  FMM_CHECK_MSG(span_it != subproblem_spans.end(),
-                "no sub-problem spans of size " << r);
+  const SubproblemLevel& level = subproblems(r);
   std::vector<bool> is_output(graph.num_vertices(), false);
-  for (const graph::VertexId v : sub_outputs_flat(r)) {
+  for (const graph::VertexId v : level.output_pool) {
     is_output[v] = true;
   }
   std::vector<graph::VertexId> internal;
-  for (const auto& [begin, end] : span_it->second) {
+  for (std::size_t i = 0; i < level.count; ++i) {
+    const auto [begin, end] = level.span_of(i);
     for (graph::VertexId v = begin; v < end; ++v) {
       if (!is_output[v]) {
         internal.push_back(v);
@@ -72,14 +84,14 @@ std::map<Role, std::size_t> Cdag::role_histogram() const {
   return hist;
 }
 
-std::string Cdag::to_dot() const {
+std::string Cdag::to_dot(bool allow_large) const {
   std::vector<std::string> labels(roles.size());
   for (std::size_t v = 0; v < roles.size(); ++v) {
     std::ostringstream oss;
     oss << role_name(roles[v]) << v;
     labels[v] = oss.str();
   }
-  return graph.to_dot(labels);
+  return graph.to_dot(labels, allow_large);
 }
 
 void Cdag::validate() const {
@@ -109,7 +121,8 @@ void Cdag::validate() const {
 
   // Lemma 2.2: |V_out(SUB_H^{r x r})| = (n/r)^{log_b t} * r^2, i.e. the
   // number of r x r sub-problems is t^{log_b(n/r)}.
-  for (const auto& [r, subs] : subproblem_outputs) {
+  for (const SubproblemLevel& level : subproblem_levels) {
+    const std::size_t r = level.r;
     FMM_CHECK(n % r == 0);
     // levels = log_base(n / r), computed exactly by repeated division.
     int levels = 0;
@@ -120,12 +133,14 @@ void Cdag::validate() const {
     const auto expected =
         static_cast<std::size_t>(ipow_checked(
             static_cast<std::int64_t>(num_products), levels));
-    FMM_CHECK_MSG(subs.size() == expected,
-                  "size-" << r << " sub-problem count " << subs.size()
+    FMM_CHECK_MSG(level.count == expected,
+                  "size-" << r << " sub-problem count " << level.count
                           << " != " << expected);
-    for (const auto& sub : subs) {
-      FMM_CHECK(sub.size() == r * r);
-    }
+    FMM_CHECK(level.output_pool.size() ==
+              level.count * level.outputs_per_sub());
+    FMM_CHECK(level.input_pool.size() == level.count * level.inputs_per_sub());
+    FMM_CHECK(level.span_begin.size() == level.count &&
+              level.span_end.size() == level.count);
   }
 }
 

@@ -9,14 +9,22 @@
 // (n/r)^{log_b t} intermediate r x r products (Lemma 2.2) — can be
 // enumerated exactly; these sets drive the dominator-set certification of
 // Lemmas 3.6/3.7 and the segment analysis of Theorem 1.1.
+//
+// Representation: the graph is a frozen graph::CsrGraph, and the
+// per-size sub-problem metadata lives in flat pools (one SubproblemLevel
+// per size r) addressed by span views — at large n the t^{log_b n}
+// sub-problem records dominate memory, and nested vector-of-vectors
+// would pay a heap allocation per record.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "graph/digraph.hpp"
+#include "graph/csr.hpp"
 
 namespace fmm::cdag {
 
@@ -34,9 +42,42 @@ enum class Role : std::uint8_t {
 /// Human-readable role name.
 const char* role_name(Role role);
 
+/// All sub-problems of one size r, in the order the builder's recursion
+/// visits them (depth-first), stored as contiguous index pools:
+///   outputs_of(i) — the r^2 output vertex ids of sub-problem i
+///                   (V_out per Lemma 2.2);
+///   inputs_of(i)  — its 2 r^2 operand vertex ids, encoded A-operands
+///                   followed by encoded B-operands (V_inp, the set
+///                   Lemma 3.11's Y lives in);
+///   span_of(i)    — the contiguous vertex-id interval [begin, end)
+///                   created while building it (strict nesting makes each
+///                   sub-CDAG one interval; defines V(SUB_H^{r x r}) for
+///                   Lemma 3.11's Γ ⊆ V_int sampling).
+struct SubproblemLevel {
+  std::size_t r = 0;
+  std::size_t count = 0;
+  std::vector<graph::VertexId> output_pool;  // count * r^2
+  std::vector<graph::VertexId> input_pool;   // count * 2 r^2
+  std::vector<graph::VertexId> span_begin;   // count
+  std::vector<graph::VertexId> span_end;     // count
+
+  std::size_t outputs_per_sub() const { return r * r; }
+  std::size_t inputs_per_sub() const { return 2 * r * r; }
+
+  std::span<const graph::VertexId> outputs_of(std::size_t i) const {
+    return {output_pool.data() + i * outputs_per_sub(), outputs_per_sub()};
+  }
+  std::span<const graph::VertexId> inputs_of(std::size_t i) const {
+    return {input_pool.data() + i * inputs_per_sub(), inputs_per_sub()};
+  }
+  std::pair<graph::VertexId, graph::VertexId> span_of(std::size_t i) const {
+    return {span_begin[i], span_end[i]};
+  }
+};
+
 /// A CDAG with the metadata needed by the paper's machinery.
 struct Cdag {
-  graph::Digraph graph;
+  graph::CsrGraph graph;
   std::vector<Role> roles;
 
   /// n of the H^{n x n} this CDAG represents.
@@ -52,35 +93,24 @@ struct Cdag {
   std::vector<graph::VertexId> inputs_b;
   std::vector<graph::VertexId> outputs;
 
-  /// For each sub-problem size r (a power of `base` dividing n, including
-  /// r = n itself): the list of sub-problems at that size, each given by
-  /// its r^2 output vertex ids.  subproblem_outputs.at(r).size() ==
-  /// t^{log_base(n/r)} (Lemma 2.2's counting).
-  std::map<std::size_t, std::vector<std::vector<graph::VertexId>>>
-      subproblem_outputs;
+  /// One level per sub-problem size r (every power of `base` dividing n,
+  /// including r = n), sorted by ascending r.  Level r has
+  /// t^{log_base(n/r)} sub-problems (Lemma 2.2's counting).
+  std::vector<SubproblemLevel> subproblem_levels;
 
-  /// For each sub-problem size r: the list of sub-problems at that size,
-  /// each given by its 2 r^2 input (operand) vertex ids — the encoded
-  /// A-operand elements followed by the encoded B-operand elements.  For
-  /// r = n these are the CDAG inputs themselves.  This is
-  /// V_inp(SUB_H^{r x r}), the set Lemma 3.11's Y lives in.
-  std::map<std::size_t, std::vector<std::vector<graph::VertexId>>>
-      subproblem_inputs;
+  /// True iff sub-problems of size r are tracked.
+  bool has_subproblems(std::size_t r) const;
 
-  /// For each sub-problem size r: the contiguous vertex-id interval
-  /// [begin, end) created while building each r x r sub-problem.  Because
-  /// construction is strictly nested, each sub-CDAG occupies one interval;
-  /// these define V(SUB_H^{r x r}) for Lemma 3.11's Γ ⊆ V_int sampling.
-  std::map<std::size_t,
-           std::vector<std::pair<graph::VertexId, graph::VertexId>>>
-      subproblem_spans;
+  /// The level for size r; throws CheckError if not tracked.
+  const SubproblemLevel& subproblems(std::size_t r) const;
 
   /// V_inp(H^{n x n}) = inputs_a ∪ inputs_b.
   std::vector<graph::VertexId> all_inputs() const;
 
   /// V_out(SUB_H^{r x r}) flattened: all output vertices of all r x r
-  /// sub-problems (Lemma 2.2: (n/r)^{log_b t} * r^2 vertices).
-  std::vector<graph::VertexId> sub_outputs_flat(std::size_t r) const;
+  /// sub-problems (Lemma 2.2: (n/r)^{log_b t} * r^2 vertices).  A view
+  /// into the level's pool — no copy.
+  std::span<const graph::VertexId> sub_outputs_flat(std::size_t r) const;
 
   /// V_int(SUB_H^{r x r}): all vertices belonging to r x r sub-CDAGs
   /// except their output vertices (the set Lemma 3.11 draws Γ from).
@@ -89,8 +119,9 @@ struct Cdag {
   /// Count of vertices per role.
   std::map<Role, std::size_t> role_histogram() const;
 
-  /// DOT rendering with role-labelled vertices (small CDAGs only).
-  std::string to_dot() const;
+  /// DOT rendering with role-labelled vertices.  Guarded against huge
+  /// graphs like the underlying to_dot (pass allow_large to override).
+  std::string to_dot(bool allow_large = false) const;
 
   /// Structural sanity checks: acyclicity, role-consistent degrees,
   /// Lemma 2.2 cardinalities.  Throws CheckError on violation.

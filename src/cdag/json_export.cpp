@@ -1,5 +1,6 @@
 #include "cdag/json_export.hpp"
 
+#include <span>
 #include <sstream>
 
 namespace fmm::cdag {
@@ -7,7 +8,7 @@ namespace fmm::cdag {
 namespace {
 
 void append_id_array(std::ostringstream& oss,
-                     const std::vector<graph::VertexId>& ids) {
+                     std::span<const graph::VertexId> ids) {
   oss << '[';
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (i != 0) {
@@ -60,24 +61,20 @@ std::string to_json(const Cdag& cdag) {
 
   oss << ",\n  \"subproblems\": {";
   bool first_size = true;
-  for (const auto& [r, subs] : cdag.subproblem_outputs) {
+  for (const SubproblemLevel& level : cdag.subproblem_levels) {
     if (!first_size) {
       oss << ',';
     }
     first_size = false;
-    oss << "\n    \"" << r << "\": [";
-    for (std::size_t i = 0; i < subs.size(); ++i) {
+    oss << "\n    \"" << level.r << "\": [";
+    for (std::size_t i = 0; i < level.count; ++i) {
       if (i != 0) {
         oss << ',';
       }
       oss << "{\"outputs\":";
-      append_id_array(oss, subs[i]);
-      const auto in_it = cdag.subproblem_inputs.find(r);
-      if (in_it != cdag.subproblem_inputs.end() &&
-          i < in_it->second.size()) {
-        oss << ",\"inputs\":";
-        append_id_array(oss, in_it->second[i]);
-      }
+      append_id_array(oss, level.outputs_of(i));
+      oss << ",\"inputs\":";
+      append_id_array(oss, level.inputs_of(i));
       oss << '}';
     }
     oss << ']';

@@ -30,7 +30,7 @@ FftCdag build_fft_cdag(std::size_t n) {
     return static_cast<graph::VertexId>(level * n + pos);
   };
 
-  cdag.graph = graph::Digraph(n * (levels + 1));
+  graph::GraphBuilder builder(n * (levels + 1));
   cdag.level_of.resize(n * (levels + 1));
   for (std::size_t l = 0; l <= levels; ++l) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -41,10 +41,11 @@ FftCdag build_fft_cdag(std::size_t n) {
   for (std::size_t l = 1; l <= levels; ++l) {
     const std::size_t half = std::size_t{1} << (l - 1);
     for (std::size_t i = 0; i < n; ++i) {
-      cdag.graph.add_edge(vid(l - 1, i), vid(l, i));
-      cdag.graph.add_edge(vid(l - 1, i ^ half), vid(l, i));
+      builder.add_edge(vid(l - 1, i), vid(l, i));
+      builder.add_edge(vid(l - 1, i ^ half), vid(l, i));
     }
   }
+  cdag.graph = builder.freeze();
 
   for (std::size_t i = 0; i < n; ++i) {
     cdag.inputs.push_back(vid(0, i));

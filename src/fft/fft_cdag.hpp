@@ -10,12 +10,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/digraph.hpp"
+#include "graph/csr.hpp"
 
 namespace fmm::fft {
 
 struct FftCdag {
-  graph::Digraph graph;
+  graph::CsrGraph graph;
   std::vector<graph::VertexId> inputs;
   std::vector<graph::VertexId> outputs;
   /// level_of[v]: 0 for inputs, k after the k-th butterfly stage.

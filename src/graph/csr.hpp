@@ -1,0 +1,139 @@
+// Immutable CSR (compressed sparse row) graph — the frozen representation
+// every CDAG consumer traverses.
+//
+// The mutable Digraph's vector-of-vectors adjacency pays one heap
+// allocation and one pointer chase per vertex, which caps the n at which
+// H^{n x n} stays traversable at interactive speed.  CsrGraph stores both
+// directions as flat offsets/edges arrays (4 bytes per edge endpoint, two
+// offset words per vertex) so whole-graph sweeps, BFS, and degree lookups
+// are contiguous reads.
+//
+// Ownership model: build-then-freeze.  A GraphBuilder accumulates
+// vertices and edges append-only; freeze() validates the result once —
+// every edge must point from a lower to a higher id (topological append
+// order, making acyclicity a construction invariant rather than a
+// per-query check) and parallel edges are rejected — then computes both
+// adjacency directions in one stable counting sort.  Stability matters:
+// per-vertex neighbor order equals edge insertion order, exactly like the
+// legacy Digraph, so pebble simulations (whose LRU clock ticks in
+// neighbor-iteration order) are bit-identical across representations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace fmm::graph {
+
+class GraphBuilder;
+
+/// Frozen directed acyclic graph in dual-direction CSR form.  Instances
+/// are only produced by GraphBuilder::freeze() and the conversion
+/// helpers below; there is no mutation API.
+class CsrGraph {
+ public:
+  /// Empty graph (0 vertices); assign from a freeze() result to populate.
+  CsrGraph() = default;
+
+  std::size_t num_vertices() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+  std::size_t num_edges() const { return out_edges_.size(); }
+
+  std::span<const VertexId> out_neighbors(VertexId v) const;
+  std::span<const VertexId> in_neighbors(VertexId v) const;
+
+  std::size_t out_degree(VertexId v) const { return out_neighbors(v).size(); }
+  std::size_t in_degree(VertexId v) const { return in_neighbors(v).size(); }
+
+  /// Vertices with in-degree 0.
+  std::vector<VertexId> sources() const;
+  /// Vertices with out-degree 0.
+  std::vector<VertexId> sinks() const;
+
+  /// The identity permutation: freeze() established u < v for every
+  /// edge, so vertex ids already form a topological order.  O(V), never
+  /// touches the edge arrays (unlike Digraph's Kahn pass).
+  std::vector<VertexId> topological_order() const;
+
+  /// Acyclicity is a freeze() invariant.
+  bool is_dag() const { return true; }
+
+  /// All vertices reachable from `start` (inclusive) following out-edges.
+  std::vector<bool> reachable_from(const std::vector<VertexId>& start) const;
+
+  /// All vertices that can reach `targets` (inclusive) following in-edges.
+  std::vector<bool> reaching_to(const std::vector<VertexId>& targets) const;
+
+  /// GraphViz DOT output.  Throws CheckError above kDotVertexLimit
+  /// vertices unless `allow_large` — a Strassen n=64 CDAG renders to
+  /// gigabytes of DOT nobody can lay out.
+  std::string to_dot(const std::vector<std::string>& labels = {},
+                     bool allow_large = false) const;
+
+  /// Heap bytes held by the adjacency arrays (capacity, both directions).
+  std::size_t memory_bytes() const;
+
+  friend bool operator==(const CsrGraph&, const CsrGraph&) = default;
+
+ private:
+  friend class GraphBuilder;
+  friend CsrGraph csr_from_digraph(const Digraph& g);
+
+  // offsets have size V+1 (or 0 for the empty graph); edge arrays are
+  // indexed offsets[v] .. offsets[v+1].
+  std::vector<std::uint32_t> out_offsets_;
+  std::vector<std::uint32_t> in_offsets_;
+  std::vector<VertexId> out_edges_;
+  std::vector<VertexId> in_edges_;
+};
+
+/// Append-only accumulator for CsrGraph.  Mirrors Digraph's construction
+/// API (add_vertices/add_edge) so builders port mechanically; the one new
+/// step is freeze(), which validates and compacts.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(std::size_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Appends `count` fresh vertices; returns the id of the first one.
+  VertexId add_vertices(std::size_t count);
+  VertexId add_vertex() { return add_vertices(1); }
+
+  /// Records edge u -> v.  Bounds-checked immediately; ordering and
+  /// duplicate validation happen at freeze().
+  void add_edge(VertexId u, VertexId v);
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edge_src_.size(); }
+
+  /// Validates and compacts into an immutable CsrGraph, consuming the
+  /// builder (it is left empty).  Throws CheckError if any edge has
+  /// u >= v (not in topological append order) or appears twice (parallel
+  /// edge).  Records freeze count/duration and the frozen graph's memory
+  /// footprint in the obs metrics registry.
+  CsrGraph freeze();
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<VertexId> edge_src_;
+  std::vector<VertexId> edge_dst_;
+};
+
+/// Converts a legacy adjacency-list graph to CSR, preserving each
+/// vertex's out- and in-neighbor order exactly (required for bit-identical
+/// pebble simulation).  Applies the same validation as freeze(): the
+/// Digraph must be topologically appended (every edge u < v) and free of
+/// parallel edges.
+CsrGraph csr_from_digraph(const Digraph& g);
+
+/// Converts back to the legacy representation, again preserving both
+/// per-vertex neighbor orders.  Used by representation-equivalence tests
+/// and the old-vs-new benchmark.
+Digraph digraph_from_csr(const CsrGraph& g);
+
+}  // namespace fmm::graph

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <sstream>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -9,6 +10,22 @@ namespace fmm::graph {
 
 Digraph::Digraph(std::size_t num_vertices)
     : out_(num_vertices), in_(num_vertices) {}
+
+Digraph::Digraph(std::vector<std::vector<VertexId>> out,
+                 std::vector<std::vector<VertexId>> in)
+    : out_(std::move(out)), in_(std::move(in)) {
+  FMM_CHECK(out_.size() == in_.size());
+  std::size_t out_edges = 0;
+  std::size_t in_edges = 0;
+  for (std::size_t v = 0; v < out_.size(); ++v) {
+    out_edges += out_[v].size();
+    in_edges += in_[v].size();
+  }
+  FMM_CHECK_MSG(out_edges == in_edges,
+                "adjacency directions disagree: " << out_edges << " vs "
+                                                  << in_edges);
+  num_edges_ = out_edges;
+}
 
 VertexId Digraph::add_vertices(std::size_t count) {
   const auto first = static_cast<VertexId>(out_.size());
@@ -140,7 +157,12 @@ std::vector<bool> Digraph::reaching_to(
   return seen;
 }
 
-std::string Digraph::to_dot(const std::vector<std::string>& labels) const {
+std::string Digraph::to_dot(const std::vector<std::string>& labels,
+                            bool allow_large) const {
+  FMM_CHECK_MSG(allow_large || num_vertices() <= kDotVertexLimit,
+                "DOT output of " << num_vertices() << " vertices exceeds "
+                                 << kDotVertexLimit
+                                 << "; pass allow_large to override");
   std::ostringstream oss;
   oss << "digraph G {\n  rankdir=TB;\n";
   for (VertexId v = 0; v < num_vertices(); ++v) {
@@ -157,6 +179,18 @@ std::string Digraph::to_dot(const std::vector<std::string>& labels) const {
   }
   oss << "}\n";
   return oss.str();
+}
+
+std::size_t Digraph::memory_bytes() const {
+  std::size_t bytes = (out_.capacity() + in_.capacity()) *
+                      sizeof(std::vector<VertexId>);
+  for (const auto& list : out_) {
+    bytes += list.capacity() * sizeof(VertexId);
+  }
+  for (const auto& list : in_) {
+    bytes += list.capacity() * sizeof(VertexId);
+  }
+  return bytes;
 }
 
 }  // namespace fmm::graph

@@ -16,10 +16,20 @@ using VertexId = std::uint32_t;
 /// Sentinel for "no vertex".
 inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
 
+/// Largest graph to_dot() renders without an explicit override; above
+/// this a Strassen-sized CDAG would serialize to multi-GB DOT text.
+inline constexpr std::size_t kDotVertexLimit = 5000;
+
 class Digraph {
  public:
   Digraph() = default;
   explicit Digraph(std::size_t num_vertices);
+
+  /// Adopts prebuilt adjacency lists (both directions must describe the
+  /// same edge multiset; only sizes are cross-checked).  Used by the CSR
+  /// conversion to reproduce per-vertex neighbor order exactly.
+  Digraph(std::vector<std::vector<VertexId>> out,
+          std::vector<std::vector<VertexId>> in);
 
   /// Appends `count` fresh vertices; returns the id of the first one.
   VertexId add_vertices(std::size_t count);
@@ -56,8 +66,14 @@ class Digraph {
   std::vector<bool> reaching_to(const std::vector<VertexId>& targets) const;
 
   /// GraphViz DOT output; `label(v)` supplies per-vertex labels (may be
-  /// empty for default numeric labels).
-  std::string to_dot(const std::vector<std::string>& labels = {}) const;
+  /// empty for default numeric labels).  Throws CheckError above
+  /// kDotVertexLimit vertices unless `allow_large`.
+  std::string to_dot(const std::vector<std::string>& labels = {},
+                     bool allow_large = false) const;
+
+  /// Heap bytes held by the adjacency lists (capacity, both directions,
+  /// including the per-vertex vector headers).
+  std::size_t memory_bytes() const;
 
  private:
   std::vector<std::vector<VertexId>> out_;

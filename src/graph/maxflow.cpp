@@ -9,11 +9,11 @@
 
 namespace fmm::graph {
 
-MaxFlow::MaxFlow(std::size_t num_nodes) : head_(num_nodes) {}
+MaxFlow::MaxFlow(std::size_t num_nodes) : num_nodes_(num_nodes) {}
 
 std::size_t MaxFlow::add_edge(std::size_t u, std::size_t v,
                               std::int64_t capacity) {
-  FMM_CHECK(u < head_.size() && v < head_.size());
+  FMM_CHECK(u < num_nodes_ && v < num_nodes_);
   FMM_CHECK(capacity >= 0);
   FMM_CHECK_MSG(!ran_, "add_edge after run()");
   const std::size_t id = edges_.size();
@@ -21,21 +21,35 @@ std::size_t MaxFlow::add_edge(std::size_t u, std::size_t v,
   edges_.push_back(Edge{u, 0});
   original_capacity_.push_back(capacity);
   original_capacity_.push_back(0);
-  head_[u].push_back(id);
-  head_[v].push_back(id + 1);
   return id;
 }
 
+void MaxFlow::build_adjacency() {
+  head_offsets_.assign(num_nodes_ + 1, 0);
+  for (std::size_t id = 0; id < edges_.size(); ++id) {
+    ++head_offsets_[edge_source(id) + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    head_offsets_[v + 1] += head_offsets_[v];
+  }
+  head_ids_.resize(edges_.size());
+  std::vector<std::size_t> cursor(head_offsets_.begin(),
+                                  head_offsets_.end() - 1);
+  for (std::size_t id = 0; id < edges_.size(); ++id) {
+    head_ids_[cursor[edge_source(id)]++] = id;
+  }
+}
+
 bool MaxFlow::bfs(std::size_t s, std::size_t t) {
-  level_.assign(head_.size(), -1);
+  level_.assign(num_nodes_, -1);
   std::deque<std::size_t> queue;
   level_[s] = 0;
   queue.push_back(s);
   while (!queue.empty()) {
     const std::size_t v = queue.front();
     queue.pop_front();
-    for (const std::size_t id : head_[v]) {
-      const Edge& e = edges_[id];
+    for (std::size_t k = head_offsets_[v]; k < head_offsets_[v + 1]; ++k) {
+      const Edge& e = edges_[head_ids_[k]];
       if (e.capacity > 0 && level_[e.to] < 0) {
         level_[e.to] = level_[v] + 1;
         queue.push_back(e.to);
@@ -49,8 +63,8 @@ std::int64_t MaxFlow::dfs(std::size_t v, std::size_t t, std::int64_t pushed) {
   if (v == t) {
     return pushed;
   }
-  for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
-    const std::size_t id = head_[v][i];
+  for (std::size_t& k = iter_[v]; k < head_offsets_[v + 1]; ++k) {
+    const std::size_t id = head_ids_[k];
     Edge& e = edges_[id];
     if (e.capacity > 0 && level_[e.to] == level_[v] + 1) {
       const std::int64_t got = dfs(e.to, t, std::min(pushed, e.capacity));
@@ -65,16 +79,17 @@ std::int64_t MaxFlow::dfs(std::size_t v, std::size_t t, std::int64_t pushed) {
 }
 
 std::int64_t MaxFlow::run(std::size_t s, std::size_t t) {
-  FMM_CHECK(s < head_.size() && t < head_.size() && s != t);
+  FMM_CHECK(s < num_nodes_ && t < num_nodes_ && s != t);
   FMM_CHECK_MSG(!ran_, "run() may be called once");
   FMM_TRACE_SPAN("graph.maxflow", "graph");
   ran_ = true;
+  build_adjacency();
   std::int64_t total = 0;
   std::int64_t augmentations = 0;
   std::int64_t bfs_rounds = 0;
   while (bfs(s, t)) {
     ++bfs_rounds;
-    iter_.assign(head_.size(), 0);
+    iter_.assign(head_offsets_.begin(), head_offsets_.end() - 1);
     while (const std::int64_t got = dfs(s, t, kInfinity)) {
       total += got;
       ++augmentations;
@@ -98,16 +113,16 @@ std::int64_t MaxFlow::residual_on(std::size_t id) const {
 }
 
 std::vector<bool> MaxFlow::min_cut_source_side(std::size_t s) const {
-  FMM_CHECK(ran_ && s < head_.size());
-  std::vector<bool> seen(head_.size(), false);
+  FMM_CHECK(ran_ && s < num_nodes_);
+  std::vector<bool> seen(num_nodes_, false);
   std::deque<std::size_t> queue;
   seen[s] = true;
   queue.push_back(s);
   while (!queue.empty()) {
     const std::size_t v = queue.front();
     queue.pop_front();
-    for (const std::size_t id : head_[v]) {
-      const Edge& e = edges_[id];
+    for (std::size_t k = head_offsets_[v]; k < head_offsets_[v + 1]; ++k) {
+      const Edge& e = edges_[head_ids_[k]];
       if (e.capacity > 0 && !seen[e.to]) {
         seen[e.to] = true;
         queue.push_back(e.to);

@@ -24,7 +24,7 @@ class MaxFlow {
   /// Adds directed edge u -> v with given capacity; returns edge id.
   std::size_t add_edge(std::size_t u, std::size_t v, std::int64_t capacity);
 
-  std::size_t num_nodes() const { return head_.size(); }
+  std::size_t num_nodes() const { return num_nodes_; }
 
   /// Computes the maximum s-t flow.  May be called once per network.
   std::int64_t run(std::size_t s, std::size_t t);
@@ -45,11 +45,21 @@ class MaxFlow {
     std::int64_t capacity;  // residual capacity
   };
 
+  /// Source node of edge `id`: its reverse partner's target.
+  std::size_t edge_source(std::size_t id) const { return edges_[id ^ 1].to; }
+
+  void build_adjacency();
   bool bfs(std::size_t s, std::size_t t);
   std::int64_t dfs(std::size_t v, std::size_t t, std::int64_t pushed);
 
+  std::size_t num_nodes_ = 0;
   std::vector<Edge> edges_;
-  std::vector<std::vector<std::size_t>> head_;  // node -> edge ids
+  // Flat node -> edge-id index, built once at run(); per-node ids keep
+  // insertion order (stable counting sort), so augmenting-path order —
+  // and therefore the extracted min cut — matches the legacy
+  // vector-of-vectors adjacency exactly.
+  std::vector<std::size_t> head_offsets_;  // size num_nodes_ + 1
+  std::vector<std::size_t> head_ids_;      // size edges_.size()
   std::vector<std::int64_t> original_capacity_;
   std::vector<int> level_;
   std::vector<std::size_t> iter_;

@@ -157,7 +157,7 @@ PebbleInstance random_instance(std::size_t num_inputs,
   FMM_CHECK(num_inputs >= 1 && max_fanin >= 1);
   Rng rng(seed);
   PebbleInstance instance;
-  instance.graph = graph::Digraph(num_inputs + num_internal);
+  graph::GraphBuilder builder(num_inputs + num_internal);
   for (graph::VertexId v = 0; v < num_inputs; ++v) {
     instance.inputs.push_back(v);
   }
@@ -168,9 +168,10 @@ PebbleInstance random_instance(std::size_t num_inputs,
     const auto preds = rng.sample_without_replacement(
         v, std::min<std::size_t>(fanin, v));
     for (const std::size_t u : preds) {
-      instance.graph.add_edge(static_cast<graph::VertexId>(u), v);
+      builder.add_edge(static_cast<graph::VertexId>(u), v);
     }
   }
+  instance.graph = builder.freeze();
   for (const graph::VertexId v : instance.graph.sinks()) {
     if (v >= num_inputs) {
       instance.outputs.push_back(v);

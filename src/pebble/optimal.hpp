@@ -26,7 +26,7 @@
 #include <optional>
 
 #include "cdag/cdag.hpp"
-#include "graph/digraph.hpp"
+#include "graph/csr.hpp"
 
 namespace fmm::pebble {
 
@@ -44,7 +44,7 @@ struct OptimalPebbleResult {
 
 /// A problem instance: any DAG with designated inputs and outputs.
 struct PebbleInstance {
-  graph::Digraph graph;
+  graph::CsrGraph graph;
   std::vector<graph::VertexId> inputs;
   std::vector<graph::VertexId> outputs;
 };

@@ -2,6 +2,7 @@
 // cardinalities, roles, spans, and sub-problem bookkeeping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 
 #include "bilinear/catalog.hpp"
@@ -66,10 +67,13 @@ TEST(Builder, ExpectedSubOutputCountFormula) {
 
 TEST(Builder, SubproblemCountsMatchLemma22) {
   const Cdag cdag = build_cdag(winograd(), 8);
-  EXPECT_EQ(cdag.subproblem_outputs.at(8).size(), 1u);
-  EXPECT_EQ(cdag.subproblem_outputs.at(4).size(), 7u);
-  EXPECT_EQ(cdag.subproblem_outputs.at(2).size(), 49u);
-  EXPECT_EQ(cdag.subproblem_outputs.at(1).size(), 343u);
+  EXPECT_EQ(cdag.subproblems(8).count, 1u);
+  EXPECT_EQ(cdag.subproblems(4).count, 7u);
+  EXPECT_EQ(cdag.subproblems(2).count, 49u);
+  EXPECT_EQ(cdag.subproblems(1).count, 343u);
+  EXPECT_TRUE(cdag.has_subproblems(4));
+  EXPECT_FALSE(cdag.has_subproblems(3));
+  EXPECT_THROW(cdag.subproblems(16), CheckError);
 }
 
 TEST(Builder, InputsAreSourcesOutputsAreSinks) {
@@ -113,14 +117,15 @@ TEST(Builder, ProductsHaveInDegreeTwo) {
 TEST(Builder, SpansAreNestedAndSized) {
   const Cdag cdag = build_cdag(strassen(), 4);
   // Sub-problems of size 2: 7 of them, disjoint spans.
-  const auto& spans2 = cdag.subproblem_spans.at(2);
-  ASSERT_EQ(spans2.size(), 7u);
-  for (std::size_t i = 0; i + 1 < spans2.size(); ++i) {
-    EXPECT_LE(spans2[i].second, spans2[i + 1].first);
+  const SubproblemLevel& level2 = cdag.subproblems(2);
+  ASSERT_EQ(level2.count, 7u);
+  for (std::size_t i = 0; i + 1 < level2.count; ++i) {
+    EXPECT_LE(level2.span_of(i).second, level2.span_of(i + 1).first);
   }
   // The size-4 span contains all size-2 spans.
-  const auto& span4 = cdag.subproblem_spans.at(4)[0];
-  for (const auto& [b, e] : spans2) {
+  const auto span4 = cdag.subproblems(4).span_of(0);
+  for (std::size_t i = 0; i < level2.count; ++i) {
+    const auto [b, e] = level2.span_of(i);
     EXPECT_GE(b, span4.first);
     EXPECT_LE(e, span4.second);
   }
@@ -142,9 +147,10 @@ TEST(Builder, SubInternalVerticesExcludeOutputs) {
 
 TEST(Builder, SubproblemInputsTracked) {
   const Cdag cdag = build_cdag(strassen(), 4);
-  const auto& ins = cdag.subproblem_inputs.at(2);
-  ASSERT_EQ(ins.size(), 7u);
-  for (const auto& operands : ins) {
+  const SubproblemLevel& level2 = cdag.subproblems(2);
+  ASSERT_EQ(level2.count, 7u);
+  for (std::size_t i = 0; i < level2.count; ++i) {
+    const auto operands = level2.inputs_of(i);
     EXPECT_EQ(operands.size(), 8u);  // 2 * r^2 with r = 2
     // Operands of a size-2 sub-problem are the parent's encode vertices.
     for (const graph::VertexId v : operands) {
@@ -153,8 +159,11 @@ TEST(Builder, SubproblemInputsTracked) {
     }
   }
   // Top-level sub-problem inputs are the CDAG inputs.
-  EXPECT_EQ(cdag.subproblem_inputs.at(4)[0].size(), 32u);
-  EXPECT_EQ(cdag.subproblem_inputs.at(4)[0], cdag.all_inputs());
+  const auto top_ins = cdag.subproblems(4).inputs_of(0);
+  ASSERT_EQ(top_ins.size(), 32u);
+  const std::vector<graph::VertexId> all = cdag.all_inputs();
+  EXPECT_TRUE(std::equal(top_ins.begin(), top_ins.end(), all.begin(),
+                         all.end()));
 }
 
 TEST(Builder, VertexCountRecurrence) {

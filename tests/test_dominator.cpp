@@ -157,9 +157,10 @@ TEST(Lemma37, GammaBelowHalfCannotDominate) {
   // an input->Z path intact.
   const cdag::Cdag cdag = build_cdag(bilinear::strassen(), 4);
   Rng rng(4242);
-  const auto& subs = cdag.subproblem_outputs.at(2);
+  const cdag::SubproblemLevel& level = cdag.subproblems(2);
   for (int trial = 0; trial < 20; ++trial) {
-    const auto& z = subs[rng.uniform(subs.size())];
+    const auto z_span = level.outputs_of(rng.uniform(level.count));
+    const std::vector<graph::VertexId> z(z_span.begin(), z_span.end());
     // Γ: one random non-input vertex (< |Z|/2 = 2).
     const graph::VertexId gamma = static_cast<graph::VertexId>(
         32 + rng.uniform(cdag.graph.num_vertices() - 32));

@@ -54,6 +54,16 @@ TEST(EdgeCases, DigraphParallelEdges) {
   EXPECT_TRUE(g.is_dag());
 }
 
+TEST(EdgeCases, DigraphDotGuardAboveVertexLimit) {
+  // Rendering a CDAG-sized graph to DOT produces output nobody can lay
+  // out; the guard must trip above kDotVertexLimit unless overridden.
+  graph::Digraph g(graph::kDotVertexLimit + 1);
+  EXPECT_THROW(g.to_dot(), CheckError);
+  EXPECT_NO_THROW(g.to_dot({}, /*allow_large=*/true));
+  graph::Digraph small(3);
+  EXPECT_NO_THROW(small.to_dot());
+}
+
 TEST(EdgeCases, OneByOneMultiply) {
   bilinear::RecursiveExecutor executor(bilinear::strassen());
   linalg::Mat a(1, 1, 3.0), b(1, 1, 4.0);

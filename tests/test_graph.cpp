@@ -1,7 +1,13 @@
-// Unit tests for src/graph digraph machinery.
+// Unit tests for src/graph digraph machinery and the immutable CSR
+// representation (GraphBuilder / CsrGraph / conversions).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/check.hpp"
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 
 namespace fmm::graph {
@@ -139,6 +145,205 @@ TEST(Digraph, LinearChainOrder) {
   for (VertexId v = 0; v < 64; ++v) {
     EXPECT_EQ(order[v], v);
   }
+}
+
+CsrGraph csr_diamond() {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(2, 3);
+  return builder.freeze();
+}
+
+TEST(CsrGraph, FreezeBasicStructure) {
+  const CsrGraph g = csr_diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.sources(), (std::vector<VertexId>{0}));
+  EXPECT_EQ(g.sinks(), (std::vector<VertexId>{3}));
+  EXPECT_TRUE(g.is_dag());
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.topological_order().empty());
+}
+
+TEST(GraphBuilder, AddVerticesReturnsFirstId) {
+  GraphBuilder builder;
+  EXPECT_EQ(builder.add_vertices(3), 0u);
+  EXPECT_EQ(builder.add_vertex(), 3u);
+  EXPECT_EQ(builder.num_vertices(), 4u);
+}
+
+TEST(GraphBuilder, EdgeOutOfRangeThrows) {
+  GraphBuilder builder(2);
+  EXPECT_THROW(builder.add_edge(0, 2), CheckError);
+}
+
+TEST(GraphBuilder, FreezeRejectsParallelEdges) {
+  // Regression: the legacy Digraph silently accepts duplicate edges
+  // (see EdgeCases.DigraphParallelEdges); freeze() must not.
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 1);
+  EXPECT_THROW(builder.freeze(), CheckError);
+}
+
+TEST(GraphBuilder, FreezeRejectsNonTopologicalEdge) {
+  {
+    GraphBuilder builder(3);
+    builder.add_edge(2, 1);  // u > v: would admit cycles
+    EXPECT_THROW(builder.freeze(), CheckError);
+  }
+  {
+    GraphBuilder builder(1);
+    builder.add_edge(0, 0);  // self-loop
+    EXPECT_THROW(builder.freeze(), CheckError);
+  }
+}
+
+TEST(GraphBuilder, FreezeConsumesBuilder) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1);
+  const CsrGraph g = builder.freeze();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(builder.num_vertices(), 0u);
+  EXPECT_EQ(builder.num_edges(), 0u);
+}
+
+TEST(CsrGraph, NeighborOrderEqualsInsertionOrder) {
+  // Bit-identical pebble simulation depends on this: the LRU clock ticks
+  // in neighbor-iteration order, which must match the legacy Digraph's
+  // (insertion order), not sorted order.
+  GraphBuilder builder(5);
+  builder.add_edge(0, 4);
+  builder.add_edge(2, 4);
+  builder.add_edge(1, 4);
+  builder.add_edge(0, 3);
+  builder.add_edge(0, 2);
+  const CsrGraph g = builder.freeze();
+  const auto ins = g.in_neighbors(4);
+  ASSERT_EQ(ins.size(), 3u);
+  EXPECT_EQ(ins[0], 0u);
+  EXPECT_EQ(ins[1], 2u);
+  EXPECT_EQ(ins[2], 1u);
+  const auto outs = g.out_neighbors(0);
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_EQ(outs[0], 4u);
+  EXPECT_EQ(outs[1], 3u);
+  EXPECT_EQ(outs[2], 2u);
+}
+
+TEST(CsrGraph, TopologicalOrderIsIdentity) {
+  // freeze() validates u < v per edge, so ids are already topologically
+  // sorted and topological_order() returns the identity permutation —
+  // which is also a valid order for the equivalent Digraph.
+  GraphBuilder builder(6);
+  Digraph d(6);
+  const std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 2}, {1, 2}, {2, 4}, {3, 4}, {2, 5}, {4, 5}};
+  for (const auto& [u, v] : edges) {
+    builder.add_edge(u, v);
+    d.add_edge(u, v);
+  }
+  const CsrGraph g = builder.freeze();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 6u);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(order[v], v);
+  }
+  // Digraph's Kahn pass yields a (possibly different) valid order over
+  // the same vertex set.
+  auto kahn = d.topological_order();
+  EXPECT_EQ(kahn.size(), 6u);
+  std::sort(kahn.begin(), kahn.end());
+  EXPECT_EQ(kahn, order);
+}
+
+TEST(CsrGraph, ReachabilityBothDirections) {
+  const CsrGraph g = csr_diamond();
+  const auto fwd = g.reachable_from({1});
+  EXPECT_FALSE(fwd[0]);
+  EXPECT_TRUE(fwd[1]);
+  EXPECT_FALSE(fwd[2]);
+  EXPECT_TRUE(fwd[3]);
+  const auto bwd = g.reaching_to({1});
+  EXPECT_TRUE(bwd[0]);
+  EXPECT_TRUE(bwd[1]);
+  EXPECT_FALSE(bwd[2]);
+  EXPECT_FALSE(bwd[3]);
+  EXPECT_THROW(g.reachable_from({9}), CheckError);
+}
+
+TEST(CsrGraph, RoundtripConversionsPreserveEverything) {
+  GraphBuilder builder(5);
+  builder.add_edge(0, 4);
+  builder.add_edge(2, 4);
+  builder.add_edge(1, 3);
+  builder.add_edge(0, 3);
+  builder.add_edge(3, 4);
+  const CsrGraph g = builder.freeze();
+  const Digraph d = digraph_from_csr(g);
+  EXPECT_EQ(d.num_vertices(), g.num_vertices());
+  EXPECT_EQ(d.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto outs = g.out_neighbors(v);
+    EXPECT_TRUE(std::equal(outs.begin(), outs.end(),
+                           d.out_neighbors(v).begin(),
+                           d.out_neighbors(v).end()));
+    const auto ins = g.in_neighbors(v);
+    EXPECT_TRUE(std::equal(ins.begin(), ins.end(),
+                           d.in_neighbors(v).begin(),
+                           d.in_neighbors(v).end()));
+  }
+  EXPECT_EQ(csr_from_digraph(d), g);
+}
+
+TEST(CsrGraph, ConversionRejectsInvalidDigraph) {
+  {
+    Digraph d(2);
+    d.add_edge(0, 1);
+    d.add_edge(0, 1);  // legal in Digraph, rejected by conversion
+    EXPECT_THROW(csr_from_digraph(d), CheckError);
+  }
+  {
+    Digraph d(3);
+    d.add_edge(2, 1);  // not topologically appended
+    EXPECT_THROW(csr_from_digraph(d), CheckError);
+  }
+}
+
+TEST(CsrGraph, DotOutputAndGuard) {
+  const CsrGraph g = csr_diamond();
+  const std::string dot = g.to_dot({"in", "l", "r", "out"});
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"in\""), std::string::npos);
+
+  GraphBuilder big(kDotVertexLimit + 1);
+  const CsrGraph huge = big.freeze();
+  EXPECT_THROW(huge.to_dot(), CheckError);
+  EXPECT_NE(huge.to_dot({}, /*allow_large=*/true).find("digraph"),
+            std::string::npos);
+}
+
+TEST(CsrGraph, MemoryBytesSmallerThanDigraph) {
+  GraphBuilder builder(256);
+  Digraph d(256);
+  for (VertexId v = 0; v + 1 < 256; ++v) {
+    builder.add_edge(v, v + 1);
+    d.add_edge(v, v + 1);
+  }
+  const CsrGraph g = builder.freeze();
+  EXPECT_GT(g.memory_bytes(), 0u);
+  EXPECT_LT(g.memory_bytes(), d.memory_bytes());
 }
 
 }  // namespace

@@ -17,11 +17,12 @@ namespace {
 PebbleInstance chain(std::size_t length) {
   // in -> v1 -> v2 -> ... -> v_length (output).
   PebbleInstance instance;
-  instance.graph = graph::Digraph(length + 1);
+  graph::GraphBuilder builder(length + 1);
   instance.inputs = {0};
   for (graph::VertexId v = 0; v < length; ++v) {
-    instance.graph.add_edge(v, v + 1);
+    builder.add_edge(v, v + 1);
   }
+  instance.graph = builder.freeze();
   instance.outputs = {static_cast<graph::VertexId>(length)};
   return instance;
 }
@@ -29,12 +30,13 @@ PebbleInstance chain(std::size_t length) {
 PebbleInstance diamond() {
   // 0 (input) -> {1, 2} -> 3 (output).
   PebbleInstance instance;
-  instance.graph = graph::Digraph(4);
+  graph::GraphBuilder builder(4);
   instance.inputs = {0};
-  instance.graph.add_edge(0, 1);
-  instance.graph.add_edge(0, 2);
-  instance.graph.add_edge(1, 3);
-  instance.graph.add_edge(2, 3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(2, 3);
+  instance.graph = builder.freeze();
   instance.outputs = {3};
   return instance;
 }
@@ -118,14 +120,15 @@ PebbleInstance dot_product() {
   // Mini matrix multiplication: C = a1*b1 + a2*b2.
   // Vertices: 0..3 inputs (a1, a2, b1, b2), 4 = m1, 5 = m2, 6 = c.
   PebbleInstance instance;
-  instance.graph = graph::Digraph(7);
+  graph::GraphBuilder builder(7);
   instance.inputs = {0, 1, 2, 3};
-  instance.graph.add_edge(0, 4);
-  instance.graph.add_edge(2, 4);
-  instance.graph.add_edge(1, 5);
-  instance.graph.add_edge(3, 5);
-  instance.graph.add_edge(4, 6);
-  instance.graph.add_edge(5, 6);
+  builder.add_edge(0, 4);
+  builder.add_edge(2, 4);
+  builder.add_edge(1, 5);
+  builder.add_edge(3, 5);
+  builder.add_edge(4, 6);
+  builder.add_edge(5, 6);
+  instance.graph = builder.freeze();
   instance.outputs = {6};
   return instance;
 }
@@ -136,15 +139,16 @@ PebbleInstance strassen_encoder() {
   const auto supports = bilinear::strassen().product_supports(
       bilinear::Side::kA);
   PebbleInstance instance;
-  instance.graph = graph::Digraph(4 + supports.size());
+  graph::GraphBuilder builder(4 + supports.size());
   instance.inputs = {0, 1, 2, 3};
   for (std::size_t r = 0; r < supports.size(); ++r) {
     const auto v = static_cast<graph::VertexId>(4 + r);
     for (const std::size_t x : supports[r]) {
-      instance.graph.add_edge(static_cast<graph::VertexId>(x), v);
+      builder.add_edge(static_cast<graph::VertexId>(x), v);
     }
     instance.outputs.push_back(v);
   }
+  instance.graph = builder.freeze();
   return instance;
 }
 
