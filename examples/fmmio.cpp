@@ -8,9 +8,16 @@
 //                  [--out report.json] [--trace trace.json]
 //   fmmio cdag     <algorithm> --n N [--dot]
 //   fmmio parallel --n N --p P [--m M]
+//   fmmio sweep    --alg A[,A2,...] --n N1[,N2,...] --m M1[,M2,...]
+//                  [--kinds simulate,liveness,dominator,boundcheck]
+//                  [--schedule dfs|bfs|random] [--policy lru|opt] [--remat]
+//                  [--threads T] [--keep-going] [--seed S]
+//                  [--out report.json]
 //
 // Algorithms: strassen, winograd, strassen-dual, strassen-perm,
-//             winograd-dual, classic.
+//             winograd-dual, classic; `sweep` additionally accepts
+//             strassen-squared and the alternative-basis variants
+//             strassen-alt / winograd-alt (docs/SWEEPS.md).
 //
 // --out writes a versioned JSON run report (docs/OBSERVABILITY.md);
 // --trace (or --out with tracing compiled in) writes a Chrome
@@ -20,6 +27,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "bilinear/catalog.hpp"
 #include "bounds/dominator_cert.hpp"
@@ -41,6 +49,7 @@
 #include "pebble/liveness.hpp"
 #include "pebble/machine.hpp"
 #include "pebble/schedules.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -368,14 +377,142 @@ int cmd_parallel(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_csv(const std::string& raw) {
+  std::vector<std::string> items;
+  std::string current;
+  for (const char ch : raw) {
+    if (ch == ',') {
+      if (!current.empty()) {
+        items.push_back(current);
+      }
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) {
+    items.push_back(current);
+  }
+  return items;
+}
+
+int cmd_sweep(const Args& args) {
+  if (!args.has("alg") || !args.has("n") || !args.has("m")) {
+    std::fprintf(stderr,
+                 "usage: fmmio sweep --alg A[,A2] --n N1[,N2] --m M1[,M2] "
+                 "[--kinds simulate,liveness,dominator,boundcheck] "
+                 "[--schedule dfs|bfs|random] [--policy lru|opt] [--remat] "
+                 "[--threads T] [--keep-going] [--seed S] [--out r.json]\n");
+    return 2;
+  }
+  const obs::ReportCli cli = report_cli_from(args);
+  obs::Registry::instance().reset();
+
+  sweep::SweepSpec spec;
+  spec.algorithms = split_csv(args.get("alg", ""));
+  for (const std::string& n : split_csv(args.get("n", ""))) {
+    spec.n_grid.push_back(static_cast<std::size_t>(std::atoll(n.c_str())));
+  }
+  for (const std::string& m : split_csv(args.get("m", ""))) {
+    spec.m_grid.push_back(std::atoll(m.c_str()));
+  }
+  if (args.has("kinds")) {
+    spec.kinds.clear();
+    for (const std::string& kind : split_csv(args.get("kinds", ""))) {
+      if (kind == "simulate") {
+        spec.kinds.push_back(sweep::TaskKind::kSimulate);
+      } else if (kind == "liveness") {
+        spec.kinds.push_back(sweep::TaskKind::kLiveness);
+      } else if (kind == "dominator") {
+        spec.kinds.push_back(sweep::TaskKind::kDominator);
+      } else if (kind == "boundcheck") {
+        spec.kinds.push_back(sweep::TaskKind::kBoundCheck);
+      } else {
+        FMM_LOG_ERROR("unknown sweep kind '" << kind << "'");
+        return 2;
+      }
+    }
+  }
+  const std::string schedule = args.get("schedule", "dfs");
+  spec.schedule = schedule == "bfs"      ? sweep::SchedulePolicy::kBfs
+                  : schedule == "random" ? sweep::SchedulePolicy::kRandom
+                                         : sweep::SchedulePolicy::kDfs;
+  if (args.get("policy", "lru") == "opt") {
+    spec.replacement = pebble::ReplacementPolicy::kBelady;
+  }
+  spec.remat = args.has("remat");
+  spec.base_seed = cli.seed;
+  spec.num_threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
+  spec.keep_going = args.has("keep-going");
+
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+
+  std::printf("sweep: %zu tasks on %zu thread(s) in %.3fs\n",
+              result.num_tasks,
+              spec.num_threads == 0
+                  ? static_cast<std::size_t>(
+                        std::thread::hardware_concurrency())
+                  : spec.num_threads,
+              result.wall_seconds);
+  Table table({"Kind", "Algorithm", "n", "M", "I/O", "Recomp", "Detail"});
+  for (const auto& task : result.tasks) {
+    table.begin_row();
+    table.add_cell(sweep::task_kind_name(task.cell.kind));
+    table.add_cell(task.cell.algorithm);
+    table.add_cell(task.cell.n);
+    table.add_cell(std::to_string(task.cell.m));
+    table.add_cell(std::to_string(task.total_io));
+    table.add_cell(std::to_string(task.recomputations));
+    std::string detail;
+    if (!task.ok) {
+      detail = "FAILED: " + task.error;
+    } else if (task.skipped) {
+      detail = "skipped";
+    } else if (task.cell.kind == sweep::TaskKind::kLiveness) {
+      detail = "peak=" + std::to_string(task.liveness_peak);
+    } else if (task.cell.kind == sweep::TaskKind::kDominator) {
+      detail = std::string(task.dominator_holds ? "holds" : "VIOLATED") +
+               " worst=" + format_double(task.dominator_worst_ratio);
+    } else if (task.cell.kind == sweep::TaskKind::kBoundCheck) {
+      detail = std::string(task.bound_holds ? "holds" : "VIOLATED") +
+               " ratio=" + format_double(task.bound_ratio);
+    }
+    table.add_cell(detail);
+  }
+  table.print_console(std::cout);
+  std::printf("  aggregate I/O=%lld recomputes=%lld  bounds %s  "
+              "dominators %s  (%zu failed, %zu skipped)\n",
+              static_cast<long long>(result.aggregate_total_io),
+              static_cast<long long>(result.aggregate_recomputations),
+              result.all_bounds_hold ? "hold" : "VIOLATED",
+              result.all_dominators_hold ? "hold" : "VIOLATED",
+              result.failed, result.skipped);
+
+  if (cli.wants_report() || !cli.trace_path.empty()) {
+    obs::RunReport report("fmmio.sweep");
+    report.set_param("algorithms", args.get("alg", ""));
+    report.set_param("n_grid", args.get("n", ""));
+    report.set_param("m_grid", args.get("m", ""));
+    report.set_param("schedule", schedule);
+    report.set_param("remat", spec.remat);
+    report.set_param("threads",
+                     static_cast<std::int64_t>(spec.num_threads));
+    report.set_param("seed", static_cast<std::int64_t>(spec.base_seed));
+    result.attach_to(report);
+    obs::finalize_run(cli, report);
+  }
+  return result.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: fmmio <list|certify|bounds|simulate|cdag|parallel> "
-                 "[args]\n");
+                 "usage: fmmio <list|certify|bounds|simulate|cdag|parallel|"
+                 "sweep> [args]\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -386,6 +523,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "cdag") return cmd_cdag(args);
     if (command == "parallel") return cmd_parallel(args);
+    if (command == "sweep") return cmd_sweep(args);
   } catch (const fmm::CheckError& e) {
     FMM_LOG_ERROR(e.what());
     return 1;

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace fmm::parallel {
 
@@ -23,6 +24,8 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) {
     worker.join();
   }
+  // An exception captured after the last wait_idle() dies with the pool;
+  // destructors cannot throw.
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -34,8 +37,34 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::cancel_pending() {
+  std::deque<std::function<void()>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dropped.swap(queue_);
+    if (in_flight_ == 0) {
+      all_idle_.notify_all();
+    }
+  }
+  // Destroy the dropped closures outside the lock (they may own heavy
+  // captures).
+  return dropped.size();
+}
+
+bool ThreadPool::has_pending_exception() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_error_ != nullptr;
 }
 
 void ThreadPool::worker_loop() {
@@ -52,9 +81,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) {
+        first_error_ = error;
+      }
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) {
         all_idle_.notify_all();

@@ -1,9 +1,23 @@
-// Minimal fixed-size thread pool for the shared-memory parallel executor.
+// Fixed-size thread pool for the shared-memory executor and the sweep
+// engine.
+//
+// Contract (upgraded for sweeps):
+//   - submit() enqueues a task; tasks may submit further tasks.
+//   - A throwing task no longer terminates the process: the FIRST
+//     exception is captured and rethrown from the next wait_idle() call
+//     on the submitting thread (later exceptions from the same batch are
+//     dropped — one failure is enough to fail a batch, and keeping only
+//     the first keeps the error deterministic under fail-fast sharding).
+//   - cancel_pending() drops every task still sitting in the queue
+//     (running tasks finish); cooperative mid-task cancellation goes
+//     through CancellationToken.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -11,9 +25,23 @@
 
 namespace fmm::parallel {
 
+/// Cooperative cancellation flag shared between a task batch and its
+/// submitter.  Tasks poll cancelled(); the owner calls cancel().
+class CancellationToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
 /// Fixed worker pool; submit() enqueues a task, wait_idle() blocks until
-/// every submitted task has finished.  Tasks must not throw (a throwing
-/// task terminates, by design — workers have no recovery context).
+/// every submitted task has finished and rethrows the first exception any
+/// task raised since the previous wait_idle().
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads = 0);
@@ -26,19 +54,29 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first captured task exception (if any), clearing it.
   void wait_idle();
+
+  /// Drops every queued-but-not-started task; returns how many were
+  /// dropped.  Safe to call from worker threads (e.g. a failing task
+  /// aborting the rest of its batch).
+  std::size_t cancel_pending();
+
+  /// True iff a task exception is waiting to be rethrown by wait_idle().
+  bool has_pending_exception() const;
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_idle_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 }  // namespace fmm::parallel

@@ -1,0 +1,497 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "altbasis/alt_basis.hpp"
+#include "bilinear/catalog.hpp"
+#include "bounds/dominator_cert.hpp"
+#include "bounds/formulas.hpp"
+#include "cdag/builder.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "pebble/liveness.hpp"
+#include "pebble/schedules.hpp"
+
+namespace fmm::sweep {
+
+namespace {
+
+/// Lower-bound slack constant shared with the property tests: measured
+/// I/O of any valid schedule must sit above bound/8 (the Ω-constant the
+/// repo certifies empirically).
+constexpr double kBoundSlack = 8.0;
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+void write_double(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  os << buf;
+}
+
+std::vector<graph::VertexId> make_schedule(const cdag::Cdag& cdag,
+                                           SchedulePolicy policy, Rng& rng) {
+  switch (policy) {
+    case SchedulePolicy::kBfs: return pebble::bfs_schedule(cdag);
+    case SchedulePolicy::kRandom:
+      return pebble::random_topological_schedule(cdag, rng);
+    case SchedulePolicy::kDfs: break;
+  }
+  return pebble::dfs_schedule(cdag);
+}
+
+pebble::SimOptions sim_options(const TaskCell& cell, const SweepSpec& spec) {
+  pebble::SimOptions options;
+  options.cache_size = cell.m;
+  options.replacement = spec.replacement;
+  if (spec.remat) {
+    options.writeback = pebble::WritebackPolicy::kDropRecomputable;
+    // The dynamic recomputation schedule precludes Belady lookahead.
+    options.replacement = pebble::ReplacementPolicy::kLru;
+  }
+  return options;
+}
+
+pebble::SimResult run_simulation(const TaskCell& cell,
+                                 const cdag::Cdag& cdag,
+                                 const SweepSpec& spec, Rng& rng) {
+  const auto schedule = make_schedule(cdag, spec.schedule, rng);
+  const pebble::SimOptions options = sim_options(cell, spec);
+  if (spec.remat) {
+    return pebble::simulate_with_recomputation(cdag, schedule, options);
+  }
+  return pebble::simulate(cdag, schedule, options);
+}
+
+void copy_sim_payload(TaskResult& out, const pebble::SimResult& sim) {
+  out.loads = sim.loads;
+  out.stores = sim.stores;
+  out.total_io = sim.total_io();
+  out.weighted_io = sim.weighted_io;
+  out.computations = sim.computations;
+  out.recomputations = sim.recomputations;
+}
+
+/// The recursion exponent ω0 = log_base(t) of the cell's algorithm.
+double omega0_of(const bilinear::BilinearAlgorithm& alg) {
+  return std::log(static_cast<double>(alg.num_products())) /
+         std::log(static_cast<double>(alg.n()));
+}
+
+}  // namespace
+
+const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kSimulate: return "simulate";
+    case TaskKind::kLiveness: return "liveness";
+    case TaskKind::kDominator: return "dominator";
+    case TaskKind::kBoundCheck: return "boundcheck";
+  }
+  return "?";
+}
+
+const char* schedule_policy_name(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kDfs: return "dfs";
+    case SchedulePolicy::kBfs: return "bfs";
+    case SchedulePolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index) {
+  // SplitMix64 over a golden-ratio stride keyed by (base_seed, index).
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bilinear::BilinearAlgorithm resolve_algorithm(const std::string& name) {
+  if (name == "strassen") return bilinear::strassen();
+  if (name == "winograd") return bilinear::winograd();
+  if (name == "strassen-dual") return bilinear::strassen_transposed();
+  if (name == "strassen-perm") return bilinear::strassen_permuted();
+  if (name == "winograd-dual") return bilinear::winograd_transposed();
+  if (name == "classic") return bilinear::classic(2, 2, 2);
+  if (name == "strassen-squared") return bilinear::strassen_squared();
+  if (name == "strassen-alt") {
+    return altbasis::make_alternative_basis(bilinear::strassen()).transformed;
+  }
+  if (name == "winograd-alt") {
+    return altbasis::make_alternative_basis(bilinear::winograd()).transformed;
+  }
+  FMM_CHECK_MSG(false, "sweep: unknown algorithm '" << name << "'");
+  return bilinear::strassen();  // unreachable
+}
+
+std::vector<TaskCell> enumerate_tasks(const SweepSpec& spec) {
+  std::vector<TaskCell> cells;
+  cells.reserve(spec.algorithms.size() * spec.n_grid.size() *
+                spec.m_grid.size() * spec.kinds.size());
+  std::size_t index = 0;
+  for (const std::string& algorithm : spec.algorithms) {
+    for (const std::size_t n : spec.n_grid) {
+      for (const std::int64_t m : spec.m_grid) {
+        for (const TaskKind kind : spec.kinds) {
+          TaskCell cell;
+          cell.index = index;
+          cell.kind = kind;
+          cell.algorithm = algorithm;
+          cell.n = n;
+          cell.m = m;
+          cell.seed = task_seed(spec.base_seed, index);
+          cells.push_back(std::move(cell));
+          ++index;
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
+                    const SweepSpec& spec) {
+  TaskResult result;
+  result.cell = cell;
+  Rng rng(cell.seed);
+  try {
+    switch (cell.kind) {
+      case TaskKind::kSimulate: {
+        copy_sim_payload(result, run_simulation(cell, cdag, spec, rng));
+        break;
+      }
+      case TaskKind::kLiveness: {
+        const auto schedule = make_schedule(cdag, spec.schedule, rng);
+        result.liveness_peak = static_cast<std::int64_t>(
+            pebble::liveness_profile(cdag, schedule).peak);
+        break;
+      }
+      case TaskKind::kDominator: {
+        if (!cdag.has_subproblems(spec.dominator_r) ||
+            cell.n < spec.dominator_r) {
+          result.skipped = true;
+          break;
+        }
+        const auto cert = bounds::certify_dominator_bound(
+            cdag, spec.dominator_r, spec.dominator_samples,
+            bounds::ZChoice::kUniformRandom, rng);
+        result.dominator_samples =
+            static_cast<std::int64_t>(cert.samples.size());
+        result.dominator_worst_ratio = cert.worst_ratio;
+        result.dominator_holds = cert.all_hold;
+        break;
+      }
+      case TaskKind::kBoundCheck: {
+        const pebble::SimResult sim = run_simulation(cell, cdag, spec, rng);
+        copy_sim_payload(result, sim);
+        const bilinear::BilinearAlgorithm alg =
+            resolve_algorithm(cell.algorithm);
+        result.lower_bound = bounds::fast_memory_dependent(
+            {static_cast<double>(cell.n), static_cast<double>(cell.m), 1},
+            omega0_of(alg));
+        result.bound_ratio =
+            result.lower_bound == 0.0
+                ? 0.0
+                : static_cast<double>(sim.total_io()) / result.lower_bound;
+        result.bound_holds = static_cast<double>(sim.total_io()) >=
+                             result.lower_bound / kBoundSlack;
+        break;
+      }
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    std::ostringstream oss;
+    oss << task_kind_name(cell.kind) << " " << cell.algorithm
+        << " (n=" << cell.n << ", M=" << cell.m << "): " << e.what();
+    result.error = oss.str();
+  }
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  FMM_TRACE_SPAN("sweep.run", "sweep");
+  Stopwatch watch;
+  SweepResult result;
+  result.spec = spec;
+
+  const std::vector<TaskCell> cells = enumerate_tasks(spec);
+  result.num_tasks = cells.size();
+  result.tasks.resize(cells.size());
+
+  // Resolve every algorithm once, serially (the -alt names run a basis
+  // search); unknown names fail here before any parallel work starts.
+  std::map<std::string, bilinear::BilinearAlgorithm> algorithms;
+  for (const std::string& name : spec.algorithms) {
+    if (!algorithms.count(name)) {
+      algorithms.emplace(name, resolve_algorithm(name));
+    }
+  }
+
+  parallel::ThreadPool pool(spec.num_threads);
+
+  // Build one frozen CDAG per distinct (algorithm, n), sharded across the
+  // pool; every task of that cell shares it read-only afterwards.
+  std::vector<std::pair<std::string, std::size_t>> keys;
+  std::map<std::pair<std::string, std::size_t>, std::size_t> key_index;
+  for (const TaskCell& cell : cells) {
+    const auto key = std::make_pair(cell.algorithm, cell.n);
+    if (key_index.emplace(key, keys.size()).second) {
+      keys.push_back(key);
+    }
+  }
+  std::vector<cdag::Cdag> cdags(keys.size());
+  std::vector<std::string> build_errors(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    pool.submit([&, i] {
+      try {
+        cdags[i] = cdag::build_cdag(algorithms.at(keys[i].first),
+                                    keys[i].second);
+      } catch (const std::exception& e) {
+        build_errors[i] = e.what();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    FMM_CHECK_MSG(build_errors[i].empty(),
+                  "sweep: CDAG build failed for "
+                      << keys[i].first << " n=" << keys[i].second << ": "
+                      << build_errors[i]);
+  }
+
+  // Shard the cells.  Each task writes only to its own slot; under
+  // fail-fast the first failure cancels the remaining queue (the report
+  // is never emitted on that path, so cancellation cannot perturb it).
+  parallel::CancellationToken cancel;
+  for (const TaskCell& cell : cells) {
+    const cdag::Cdag& cdag = cdags[key_index.at({cell.algorithm, cell.n})];
+    pool.submit([&, cell] {
+      TaskResult& slot = result.tasks[cell.index];
+      if (cancel.cancelled()) {
+        slot.cell = cell;
+        slot.error = "cancelled";
+        return;
+      }
+      slot = run_task(cell, cdag, spec);
+      if (!slot.ok && !spec.keep_going) {
+        cancel.cancel();
+        pool.cancel_pending();
+      }
+    });
+  }
+  pool.wait_idle();
+
+  // Fail-fast: surface the lowest-index genuine failure (deterministic
+  // even when several workers failed concurrently).
+  if (!spec.keep_going) {
+    for (const TaskResult& task : result.tasks) {
+      if (!task.ok && !task.error.empty() && task.error != "cancelled") {
+        obs::Registry::instance().counter("sweep.failures").increment();
+        throw CheckError("sweep task failed: " + task.error);
+      }
+    }
+  }
+
+  // Aggregate in task-index order.
+  bool any_bound = false;
+  bool any_dominator = false;
+  for (const TaskResult& task : result.tasks) {
+    if (!task.ok) {
+      ++result.failed;
+      continue;
+    }
+    if (task.skipped) {
+      ++result.skipped;
+      ++result.completed;
+      continue;
+    }
+    ++result.completed;
+    result.aggregate_total_io += task.total_io;
+    result.aggregate_recomputations += task.recomputations;
+    if (task.cell.kind == TaskKind::kBoundCheck) {
+      result.all_bounds_hold = result.all_bounds_hold && task.bound_holds;
+      result.worst_bound_ratio =
+          any_bound ? std::min(result.worst_bound_ratio, task.bound_ratio)
+                    : task.bound_ratio;
+      any_bound = true;
+    }
+    if (task.cell.kind == TaskKind::kDominator) {
+      result.all_dominators_hold =
+          result.all_dominators_hold && task.dominator_holds;
+      result.worst_dominator_ratio =
+          any_dominator ? std::min(result.worst_dominator_ratio,
+                                   task.dominator_worst_ratio)
+                        : task.dominator_worst_ratio;
+      any_dominator = true;
+    }
+  }
+
+  result.wall_seconds = watch.seconds();
+  auto& registry = obs::Registry::instance();
+  registry.counter("sweep.runs").increment();
+  registry.counter("sweep.tasks")
+      .add(static_cast<std::int64_t>(result.num_tasks));
+  registry.counter("sweep.task_failures")
+      .add(static_cast<std::int64_t>(result.failed));
+  registry.counter("sweep.cdags_built")
+      .add(static_cast<std::int64_t>(keys.size()));
+  registry.gauge("sweep.threads")
+      .set(static_cast<std::int64_t>(pool.num_threads()));
+  return result;
+}
+
+std::string SweepResult::to_json() const {
+  std::ostringstream oss;
+  const auto string_array = [&oss](const auto& items, auto&& render) {
+    oss << "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      oss << (i == 0 ? "" : ", ");
+      render(items[i]);
+    }
+    oss << "]";
+  };
+
+  oss << "{\n";
+  oss << "      \"schema\": \"" << kSweepSchema << "\",\n";
+  oss << "      \"schema_version\": " << kSweepSchemaVersion << ",\n";
+
+  oss << "      \"spec\": {\"algorithms\": ";
+  string_array(spec.algorithms, [&oss](const std::string& s) {
+    oss << '"';
+    json_escape(oss, s);
+    oss << '"';
+  });
+  oss << ", \"n_grid\": ";
+  string_array(spec.n_grid, [&oss](std::size_t n) { oss << n; });
+  oss << ", \"m_grid\": ";
+  string_array(spec.m_grid, [&oss](std::int64_t m) { oss << m; });
+  oss << ", \"kinds\": ";
+  string_array(spec.kinds, [&oss](TaskKind kind) {
+    oss << '"' << task_kind_name(kind) << '"';
+  });
+  oss << ", \"schedule\": \"" << schedule_policy_name(spec.schedule)
+      << "\", \"replacement\": \""
+      << (spec.replacement == pebble::ReplacementPolicy::kBelady ? "belady"
+                                                                 : "lru")
+      << "\", \"remat\": " << (spec.remat ? "true" : "false")
+      << ", \"base_seed\": " << spec.base_seed
+      << ", \"dominator_r\": " << spec.dominator_r
+      << ", \"dominator_samples\": " << spec.dominator_samples << "},\n";
+
+  oss << "      \"num_tasks\": " << num_tasks << ",\n";
+  oss << "      \"completed\": " << completed << ",\n";
+  oss << "      \"failed\": " << failed << ",\n";
+  oss << "      \"skipped\": " << skipped << ",\n";
+  oss << "      \"aggregate\": {\"total_io\": " << aggregate_total_io
+      << ", \"recomputations\": " << aggregate_recomputations
+      << ", \"all_bounds_hold\": " << (all_bounds_hold ? "true" : "false")
+      << ", \"worst_bound_ratio\": ";
+  write_double(oss, worst_bound_ratio);
+  oss << ", \"all_dominators_hold\": "
+      << (all_dominators_hold ? "true" : "false")
+      << ", \"worst_dominator_ratio\": ";
+  write_double(oss, worst_dominator_ratio);
+  oss << "},\n";
+
+  oss << "      \"tasks\": [";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskResult& task = tasks[i];
+    oss << (i == 0 ? "\n" : ",\n") << "        {\"index\": "
+        << task.cell.index << ", \"kind\": \""
+        << task_kind_name(task.cell.kind) << "\", \"algorithm\": \"";
+    json_escape(oss, task.cell.algorithm);
+    oss << "\", \"n\": " << task.cell.n << ", \"m\": " << task.cell.m
+        << ", \"seed\": " << task.cell.seed
+        << ", \"ok\": " << (task.ok ? "true" : "false");
+    if (task.skipped) {
+      oss << ", \"skipped\": true";
+    }
+    if (!task.error.empty()) {
+      oss << ", \"error\": \"";
+      json_escape(oss, task.error);
+      oss << '"';
+    }
+    if (task.ok && !task.skipped) {
+      switch (task.cell.kind) {
+        case TaskKind::kSimulate:
+        case TaskKind::kBoundCheck:
+          oss << ", \"loads\": " << task.loads
+              << ", \"stores\": " << task.stores
+              << ", \"total_io\": " << task.total_io
+              << ", \"weighted_io\": " << task.weighted_io
+              << ", \"computations\": " << task.computations
+              << ", \"recomputations\": " << task.recomputations;
+          if (task.cell.kind == TaskKind::kBoundCheck) {
+            oss << ", \"lower_bound\": ";
+            write_double(oss, task.lower_bound);
+            oss << ", \"bound_ratio\": ";
+            write_double(oss, task.bound_ratio);
+            oss << ", \"bound_holds\": "
+                << (task.bound_holds ? "true" : "false");
+          }
+          break;
+        case TaskKind::kLiveness:
+          oss << ", \"liveness_peak\": " << task.liveness_peak;
+          break;
+        case TaskKind::kDominator:
+          oss << ", \"dominator_samples\": " << task.dominator_samples
+              << ", \"dominator_worst_ratio\": ";
+          write_double(oss, task.dominator_worst_ratio);
+          oss << ", \"dominator_holds\": "
+              << (task.dominator_holds ? "true" : "false");
+          break;
+      }
+    }
+    oss << "}";
+  }
+  oss << (tasks.empty() ? "" : "\n      ") << "]\n";
+  oss << "    }";
+  return oss.str();
+}
+
+void SweepResult::attach_to(obs::RunReport& report) const {
+  report.set_result("sweep_tasks", static_cast<std::int64_t>(num_tasks));
+  report.set_result("sweep_completed", static_cast<std::int64_t>(completed));
+  report.set_result("sweep_failed", static_cast<std::int64_t>(failed));
+  report.set_result("sweep_skipped", static_cast<std::int64_t>(skipped));
+  report.set_result("total_io", aggregate_total_io);
+  report.set_result("recomputations", aggregate_recomputations);
+  report.set_result("all_bounds_hold", all_bounds_hold);
+  report.set_result("all_dominators_hold", all_dominators_hold);
+  report.add_phase_seconds("sweep", wall_seconds);
+  report.add_raw_section("sweep", to_json());
+}
+
+}  // namespace fmm::sweep

@@ -1,0 +1,179 @@
+// Parallel parameter-sweep engine for pebble/certification workloads.
+//
+// The paper's experiments are sweep-shaped: IO(n, M) curves over grids of
+// (algorithm, n, M) for Theorem 1.1 and the alternative-basis bounds of
+// Theorem 4.1.  This engine shards the independent cells of such a grid —
+// pebble simulations, liveness profiles, dominator certifications, and
+// lower-bound verifications — across parallel::ThreadPool workers while
+// keeping the result DETERMINISTIC:
+//
+//   - task enumeration is a fixed cross product (algorithm-major, then n,
+//     then M, then task kind), independent of thread count;
+//   - every task draws randomness only from its own Rng seeded by
+//     task_seed(base_seed, task_index), a SplitMix64 mix, so no task
+//     observes another task's RNG consumption;
+//   - each task writes exclusively to its own pre-allocated result slot;
+//   - one frozen CsrGraph-backed CDAG per (algorithm, n) is shared
+//     read-only by all workers;
+//   - the serialized sweep section (SweepResult::to_json) is therefore
+//     byte-identical across thread counts, including a serial hand-rolled
+//     loop over enumerate_tasks + run_task.
+//
+// Failure contract: a throwing task is caught at the task boundary and
+// recorded with its (algorithm, n, M) coordinates.  With
+// spec.keep_going=false (default) the engine cancels the remaining queue
+// and rethrows a CheckError naming the lowest-index failing cell; with
+// keep_going=true failures become rows of the report instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bilinear/algorithm.hpp"
+#include "cdag/cdag.hpp"
+#include "obs/run_report.hpp"
+#include "pebble/machine.hpp"
+
+namespace fmm::sweep {
+
+inline constexpr const char* kSweepSchema = "fmm.sweep";
+inline constexpr int kSweepSchemaVersion = 1;
+
+/// What one grid cell runs.
+enum class TaskKind {
+  kSimulate,    // pebble::simulate (or simulate_with_recomputation)
+  kLiveness,    // zero-spill working-set profile of the schedule
+  kDominator,   // Lemma 3.7 certification (min vertex cut sampling)
+  kBoundCheck,  // Theorem 1.1 / 4.1: measured I/O vs closed-form bound
+};
+
+const char* task_kind_name(TaskKind kind);
+
+/// How each task derives its schedule.
+enum class SchedulePolicy { kDfs, kBfs, kRandom };
+
+const char* schedule_policy_name(SchedulePolicy policy);
+
+/// Declarative description of a sweep: the full cross product
+/// algorithms x n_grid x m_grid x kinds is enumerated in that order.
+struct SweepSpec {
+  std::vector<std::string> algorithms;  // names for resolve_algorithm()
+  std::vector<std::size_t> n_grid;
+  std::vector<std::int64_t> m_grid;
+  std::vector<TaskKind> kinds = {TaskKind::kSimulate};
+  SchedulePolicy schedule = SchedulePolicy::kDfs;
+  pebble::ReplacementPolicy replacement = pebble::ReplacementPolicy::kLru;
+  /// Simulate in the bounded-rematerialization regime
+  /// (WritebackPolicy::kDropRecomputable) instead of standard write-back.
+  bool remat = false;
+  std::uint64_t base_seed = 1;
+  /// Worker threads; 0 = hardware concurrency.  Not part of the
+  /// deterministic report payload.
+  std::size_t num_threads = 1;
+  /// Record task failures in the report instead of failing the sweep.
+  bool keep_going = false;
+  /// Lemma 3.7 certification parameters (kDominator tasks).
+  std::size_t dominator_r = 2;
+  std::size_t dominator_samples = 3;
+};
+
+/// One enumerated grid cell (static description, known before running).
+struct TaskCell {
+  std::size_t index = 0;
+  TaskKind kind = TaskKind::kSimulate;
+  std::string algorithm;
+  std::size_t n = 0;
+  std::int64_t m = 0;
+  std::uint64_t seed = 0;  // task_seed(spec.base_seed, index)
+};
+
+/// Outcome of one task.  Fields not produced by the cell's kind stay at
+/// their zero defaults (and are omitted from the JSON rendering).
+struct TaskResult {
+  TaskCell cell;
+  bool ok = false;
+  /// Cell did not apply (e.g. dominator level not tracked at this n).
+  bool skipped = false;
+  std::string error;  // non-empty iff !ok
+
+  // kSimulate / kBoundCheck payload.
+  std::int64_t loads = 0;
+  std::int64_t stores = 0;
+  std::int64_t total_io = 0;
+  std::int64_t weighted_io = 0;
+  std::int64_t computations = 0;
+  std::int64_t recomputations = 0;
+
+  // kLiveness payload.
+  std::int64_t liveness_peak = 0;
+
+  // kDominator payload.
+  std::int64_t dominator_samples = 0;
+  double dominator_worst_ratio = 0.0;
+  bool dominator_holds = false;
+
+  // kBoundCheck payload.
+  double lower_bound = 0.0;
+  double bound_ratio = 0.0;  // measured total_io / lower_bound
+  bool bound_holds = false;
+};
+
+/// Deterministic aggregate view + per-task rows, in task-index order.
+struct SweepResult {
+  std::size_t num_tasks = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  std::int64_t aggregate_total_io = 0;
+  std::int64_t aggregate_recomputations = 0;
+  /// min over kBoundCheck cells of measured/bound (0 when none ran).
+  double worst_bound_ratio = 0.0;
+  bool all_bounds_hold = true;
+  /// min over kDominator cells of the Lemma 3.7 slack ratio.
+  double worst_dominator_ratio = 0.0;
+  bool all_dominators_hold = true;
+  std::vector<TaskResult> tasks;
+
+  /// Echo of the deterministic part of the spec (excludes num_threads
+  /// and keep_going — those must not change the payload).
+  SweepSpec spec;
+
+  /// Wall-clock of the whole sweep.  NOT part of to_json().
+  double wall_seconds = 0.0;
+
+  /// The versioned, thread-count-independent sweep section: byte-identical
+  /// across num_threads values for a fixed spec.
+  std::string to_json() const;
+
+  /// Embeds to_json() under extra.sweep and records headline results
+  /// (sweep_tasks/sweep_failed/total_io) so `fmmio sweep --out` emits one
+  /// schema-validated file.
+  void attach_to(obs::RunReport& report) const;
+};
+
+/// Per-task seed derivation: SplitMix64 over (base_seed, task_index).
+/// Tasks at different indices get decorrelated streams; the same cell
+/// gets the same stream no matter which worker runs it.
+std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// Resolves a sweep algorithm name.  Catalog names (strassen, winograd,
+/// strassen-dual, strassen-perm, winograd-dual, classic, strassen-squared)
+/// plus the alternative-basis variants strassen-alt / winograd-alt
+/// (Karstadt–Schwartz sparsifying bases; Theorem 4.1).  Throws CheckError
+/// for unknown names.
+bilinear::BilinearAlgorithm resolve_algorithm(const std::string& name);
+
+/// The deterministic task list of `spec` (no work is performed).
+std::vector<TaskCell> enumerate_tasks(const SweepSpec& spec);
+
+/// Runs one cell against a pre-built CDAG.  Never throws: failures are
+/// recorded in the result with the cell's coordinates.
+TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
+                    const SweepSpec& spec);
+
+/// Runs the whole sweep on spec.num_threads workers.  Throws CheckError
+/// naming the failing cell's (algorithm, n, M) unless spec.keep_going.
+SweepResult run_sweep(const SweepSpec& spec);
+
+}  // namespace fmm::sweep

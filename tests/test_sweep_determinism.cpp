@@ -1,0 +1,194 @@
+// Determinism battery for the sweep engine: the serialized sweep report
+// must be byte-identical across thread counts and identical to a
+// hand-rolled serial loop, for Strassen and an alternative-basis
+// algorithm (Theorem 4.1's family).  Also the regression tests for the
+// fail-fast contract: a throwing task fails the sweep cleanly with the
+// task's (n, M) coordinates in the error, instead of the old
+// terminate-on-throw pool behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdag/builder.hpp"
+#include "common/check.hpp"
+#include "pebble/machine.hpp"
+#include "pebble/schedules.hpp"
+#include "sweep/sweep.hpp"
+
+namespace fmm::sweep {
+namespace {
+
+SweepSpec reference_spec() {
+  SweepSpec spec;
+  spec.algorithms = {"strassen", "winograd-alt"};
+  spec.n_grid = {4, 8};
+  spec.m_grid = {16, 64};
+  spec.kinds = {TaskKind::kSimulate, TaskKind::kLiveness,
+                TaskKind::kDominator, TaskKind::kBoundCheck};
+  spec.schedule = SchedulePolicy::kRandom;  // maximal RNG sensitivity
+  spec.base_seed = 42;
+  return spec;
+}
+
+TEST(SweepDeterminism, ByteIdenticalAcrossThreadCounts) {
+  SweepSpec spec = reference_spec();
+  spec.num_threads = 1;
+  const std::string serial = run_sweep(spec).to_json();
+  for (const std::size_t threads : {2u, 8u}) {
+    spec.num_threads = threads;
+    EXPECT_EQ(run_sweep(spec).to_json(), serial)
+        << "sweep report diverged at " << threads << " threads";
+  }
+}
+
+TEST(SweepDeterminism, MatchesHandRolledSerialLoop) {
+  SweepSpec spec = reference_spec();
+  spec.num_threads = 8;
+  const SweepResult parallel_result = run_sweep(spec);
+
+  // Hand-rolled reference: enumerate, build each CDAG on demand, run the
+  // cells one by one on this thread — no pool involved at all.
+  const std::vector<TaskCell> cells = enumerate_tasks(spec);
+  ASSERT_EQ(parallel_result.tasks.size(), cells.size());
+  std::map<std::pair<std::string, std::size_t>, cdag::Cdag> cdags;
+  for (const TaskCell& cell : cells) {
+    const auto key = std::make_pair(cell.algorithm, cell.n);
+    if (!cdags.count(key)) {
+      cdags.emplace(key,
+                    cdag::build_cdag(resolve_algorithm(cell.algorithm),
+                                     cell.n));
+    }
+    const TaskResult serial = run_task(cell, cdags.at(key), spec);
+    const TaskResult& sharded = parallel_result.tasks[cell.index];
+    ASSERT_TRUE(serial.ok) << serial.error;
+    EXPECT_TRUE(sharded.ok) << sharded.error;
+    EXPECT_EQ(sharded.cell.seed, serial.cell.seed);
+    EXPECT_EQ(sharded.loads, serial.loads) << cell.index;
+    EXPECT_EQ(sharded.stores, serial.stores) << cell.index;
+    EXPECT_EQ(sharded.total_io, serial.total_io) << cell.index;
+    EXPECT_EQ(sharded.weighted_io, serial.weighted_io) << cell.index;
+    EXPECT_EQ(sharded.computations, serial.computations) << cell.index;
+    EXPECT_EQ(sharded.recomputations, serial.recomputations) << cell.index;
+    EXPECT_EQ(sharded.liveness_peak, serial.liveness_peak) << cell.index;
+    EXPECT_EQ(sharded.dominator_samples, serial.dominator_samples)
+        << cell.index;
+    EXPECT_EQ(sharded.dominator_worst_ratio, serial.dominator_worst_ratio)
+        << cell.index;
+    EXPECT_EQ(sharded.dominator_holds, serial.dominator_holds)
+        << cell.index;
+    EXPECT_EQ(sharded.lower_bound, serial.lower_bound) << cell.index;
+    EXPECT_EQ(sharded.bound_ratio, serial.bound_ratio) << cell.index;
+    EXPECT_EQ(sharded.bound_holds, serial.bound_holds) << cell.index;
+  }
+}
+
+TEST(SweepDeterminism, RematRegimeIsDeterministicToo) {
+  SweepSpec spec;
+  spec.algorithms = {"winograd"};
+  spec.n_grid = {8};
+  spec.m_grid = {16, 24, 48};
+  spec.kinds = {TaskKind::kSimulate};
+  spec.remat = true;
+  spec.base_seed = 7;
+  spec.num_threads = 1;
+  const SweepResult serial = run_sweep(spec);
+  EXPECT_GT(serial.aggregate_recomputations, 0)
+      << "remat sweep should actually recompute at small M";
+  for (const std::size_t threads : {2u, 8u}) {
+    spec.num_threads = threads;
+    EXPECT_EQ(run_sweep(spec).to_json(), serial.to_json());
+  }
+}
+
+TEST(SweepDeterminism, TaskSeedsAreStableAndDecorrelated) {
+  // The seed derivation is part of the report contract (documented in
+  // docs/SWEEPS.md): fixed mixing, no dependence on thread count.
+  EXPECT_EQ(task_seed(1, 0), task_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(task_seed(42, i));
+  }
+  EXPECT_EQ(seen.size(), 1000u) << "per-task seeds must not collide";
+  EXPECT_NE(task_seed(1, 5), task_seed(2, 5))
+      << "base seed must change every stream";
+}
+
+TEST(SweepDeterminism, ThrowingTaskFailsSweepWithCoordinates) {
+  // M=1 violates the machine's cache_size >= 2 precondition, so the
+  // (n=8, M=1) simulate cell throws inside a worker.  The sweep must
+  // surface one CheckError naming that cell, not terminate.
+  SweepSpec spec;
+  spec.algorithms = {"strassen"};
+  spec.n_grid = {8};
+  spec.m_grid = {16, 1, 64};
+  spec.kinds = {TaskKind::kSimulate};
+  spec.num_threads = 4;
+  try {
+    run_sweep(spec);
+    FAIL() << "expected the M=1 cell to fail the sweep";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n=8"), std::string::npos) << what;
+    EXPECT_NE(what.find("M=1)"), std::string::npos) << what;
+    EXPECT_NE(what.find("strassen"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepDeterminism, KeepGoingRecordsFailureInReport) {
+  SweepSpec spec;
+  spec.algorithms = {"strassen"};
+  spec.n_grid = {4};
+  spec.m_grid = {16, 1, 64};
+  spec.kinds = {TaskKind::kSimulate};
+  spec.keep_going = true;
+  spec.num_threads = 2;
+  const SweepResult result = run_sweep(spec);
+  EXPECT_EQ(result.num_tasks, 3u);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.completed, 2u);
+  const TaskResult& bad = result.tasks[1];
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("n=4"), std::string::npos) << bad.error;
+  EXPECT_NE(bad.error.find("M=1"), std::string::npos) << bad.error;
+  // The failing row is part of the deterministic payload.
+  spec.num_threads = 8;
+  EXPECT_EQ(run_sweep(spec).to_json(), result.to_json());
+}
+
+TEST(SweepDeterminism, UnknownAlgorithmFailsUpFront) {
+  SweepSpec spec;
+  spec.algorithms = {"no-such-algorithm"};
+  spec.n_grid = {4};
+  spec.m_grid = {16};
+  EXPECT_THROW(run_sweep(spec), CheckError);
+}
+
+TEST(SweepDeterminism, SimulatePayloadMatchesDirectSimulation) {
+  // A 1-cell DFS sweep must agree exactly with calling the simulator
+  // directly — the engine adds sharding, not semantics.
+  SweepSpec spec;
+  spec.algorithms = {"strassen"};
+  spec.n_grid = {8};
+  spec.m_grid = {32};
+  spec.kinds = {TaskKind::kSimulate};
+  spec.schedule = SchedulePolicy::kDfs;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.tasks.size(), 1u);
+
+  const cdag::Cdag cdag =
+      cdag::build_cdag(resolve_algorithm("strassen"), 8);
+  pebble::SimOptions options;
+  options.cache_size = 32;
+  const auto direct =
+      pebble::simulate(cdag, pebble::dfs_schedule(cdag), options);
+  EXPECT_EQ(result.tasks[0].loads, direct.loads);
+  EXPECT_EQ(result.tasks[0].stores, direct.stores);
+  EXPECT_EQ(result.tasks[0].total_io, direct.total_io());
+}
+
+}  // namespace
+}  // namespace fmm::sweep

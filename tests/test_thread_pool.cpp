@@ -1,0 +1,186 @@
+// Concurrency stress battery for the upgraded parallel::ThreadPool:
+// exception capture (the old contract terminated on throw), cooperative
+// cancellation, recursive submission, and wait_idle() under contention.
+// Run under the tsan preset (FMM_SANITIZE=thread) in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fmm::parallel {
+namespace {
+
+TEST(ThreadPoolStress, TenThousandNoOpTasks) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10000);
+}
+
+TEST(ThreadPoolStress, TasksSubmittingTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  // Each root task fans out children from inside a worker; wait_idle must
+  // cover the dynamically grown frontier.
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      for (int j = 0; j < 8; ++j) {
+        pool.submit([&pool, &counter] {
+          counter.fetch_add(1);
+          pool.submit([&counter] { counter.fetch_add(1); });
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 16 * (1 + 8 * 2));
+}
+
+TEST(ThreadPoolStress, ExceptionPropagatesToWaiter) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool is reusable and clean afterwards.
+  EXPECT_FALSE(pool.has_pending_exception());
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolStress, FirstOfManyExceptionsWins) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] {
+      ran.fetch_add(1);
+      throw CheckError("repeated failure");
+    });
+  }
+  // Exactly one rethrow; every task still ran (no terminate, no drops).
+  EXPECT_THROW(pool.wait_idle(), CheckError);
+  EXPECT_EQ(ran.load(), 64);
+  pool.wait_idle();  // second wait is clean
+}
+
+TEST(ThreadPoolStress, ThrowingTaskDoesNotTerminateAtDestruction) {
+  // Regression for the documented footgun: a throwing task used to call
+  // std::terminate.  Destroying a pool with a captured-but-unretrieved
+  // exception must be safe.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("never retrieved"); });
+  // No wait_idle(): the destructor drains and must swallow the error.
+}
+
+TEST(ThreadPoolStress, WaitIdleUnderContention) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  // Several caller threads wait concurrently; all must observe the fully
+  // drained pool.
+  std::vector<std::thread> waiters;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 6; ++i) {
+    waiters.emplace_back([&pool, &woke, &counter] {
+      pool.wait_idle();
+      EXPECT_EQ(counter.load(), 500);
+      woke.fetch_add(1);
+    });
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(woke.load(), 6);
+}
+
+TEST(ThreadPoolStress, CancelPendingDropsQueuedTasks) {
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  // First task blocks the single worker, so the rest stay queued.
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  // Give the worker a moment to pick up the blocker (the queue length
+  // assertion below is >= 99 to stay robust either way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const std::size_t dropped = pool.cancel_pending();
+  EXPECT_GE(dropped, 99u);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load() + static_cast<int>(dropped), 101);
+}
+
+TEST(ThreadPoolStress, CancellationTokenIsSticky) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ThreadPoolStress, CooperativeCancellationMidQueue) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&token, &executed, i] {
+      if (token.cancelled()) {
+        return;
+      }
+      executed.fetch_add(1);
+      if (i == 10) {
+        token.cancel();
+      }
+    });
+  }
+  pool.wait_idle();
+  // At least the triggering task ran; once the token flipped, the tail of
+  // the queue was skipped (can't assert an exact count — workers race the
+  // flag — but a full run of 1000 would mean cancellation never took).
+  EXPECT_GE(executed.load(), 11);
+  EXPECT_LT(executed.load(), 1000);
+}
+
+TEST(ThreadPoolStress, ManyWaitCyclesReuse) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+}  // namespace
+}  // namespace fmm::parallel
