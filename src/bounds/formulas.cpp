@@ -14,6 +14,21 @@ void check_params(const MmParams& params) {
 }
 }  // namespace
 
+MmParams mm_params_from_ints(std::int64_t n, std::int64_t m,
+                             std::int64_t p) {
+  FMM_CHECK_MSG(n >= 1 && m >= 1 && p >= 1,
+                "grid cell needs n, M, P >= 1; got n=" << n << " M=" << m
+                                                       << " P=" << p);
+  // The exact-count side of every comparison is at most n³-scale (the
+  // fast exponents sit below 3) with n·M-scale intermediates; certify
+  // both representable before any double-typed formula runs.
+  const std::int64_t n_sq = checked_mul(n, n);
+  checked_mul(n_sq, n);
+  checked_mul(n_sq, m);
+  return MmParams{static_cast<double>(n), static_cast<double>(m),
+                  static_cast<double>(p)};
+}
+
 double classic_memory_dependent(const MmParams& params) {
   check_params(params);
   return fpow(params.n / std::sqrt(params.m), 3.0) * params.m / params.p;

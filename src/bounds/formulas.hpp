@@ -18,6 +18,15 @@ struct MmParams {
   double p = 1;  // number of processors (1 = sequential model)
 };
 
+/// Builds MmParams from the integer grid coordinates sweeps and the CLI
+/// actually carry, verifying FIRST (via checked_mul/checked_pow) that
+/// the exact quantities the bounds compare against — n², n·M and the
+/// n³-scale operation counts — fit in int64.  A huge (n, M) cell throws
+/// CheckError naming the offending product instead of silently wrapping
+/// somewhere downstream.
+MmParams mm_params_from_ints(std::int64_t n, std::int64_t m,
+                             std::int64_t p = 1);
+
 // --- Classic matrix multiplication (Table I row 1) -----------------------
 
 /// Ω((n/√M)^3 · M / P) — Hong–Kung / Irony–Toledo–Tiskin.

@@ -37,27 +37,39 @@ std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
 }
 
-std::int64_t iadd_checked(std::int64_t a, std::int64_t b) {
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
   std::int64_t out = 0;
   FMM_CHECK_MSG(!__builtin_add_overflow(a, b, &out),
                 "int64 overflow in " << a << " + " << b);
   return out;
 }
 
-std::int64_t imul_checked(std::int64_t a, std::int64_t b) {
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
   std::int64_t out = 0;
   FMM_CHECK_MSG(!__builtin_mul_overflow(a, b, &out),
                 "int64 overflow in " << a << " * " << b);
   return out;
 }
 
-std::int64_t ipow_checked(std::int64_t base, int exp) {
+std::int64_t checked_pow(std::int64_t base, int exp) {
   FMM_CHECK(exp >= 0);
   std::int64_t result = 1;
   for (int i = 0; i < exp; ++i) {
-    result = imul_checked(result, base);
+    result = checked_mul(result, base);
   }
   return result;
+}
+
+std::int64_t iadd_checked(std::int64_t a, std::int64_t b) {
+  return checked_add(a, b);
+}
+
+std::int64_t imul_checked(std::int64_t a, std::int64_t b) {
+  return checked_mul(a, b);
+}
+
+std::int64_t ipow_checked(std::int64_t base, int exp) {
+  return checked_pow(base, exp);
 }
 
 std::int64_t pow7(int k) {

@@ -31,13 +31,21 @@ std::uint64_t next_pow2(std::uint64_t x);
 /// ceil(a / b) for positive integers.
 std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
 
-/// Exact integer power with overflow check (throws CheckError on overflow).
+/// a*b as int64, throwing CheckError on overflow.  The canonical
+/// overflow-checked multiply: anything computing exact counts from grid
+/// parameters (n, M) must go through this so huge cells fail loudly
+/// instead of silently wrapping.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+/// base^exp as int64 (exp >= 0), throwing CheckError on overflow.
+std::int64_t checked_pow(std::int64_t base, int exp);
+
+/// a+b as int64, throwing CheckError on overflow.
+std::int64_t checked_add(std::int64_t a, std::int64_t b);
+
+/// Legacy spellings of the checked ops above.
 std::int64_t ipow_checked(std::int64_t base, int exp);
-
-/// a*b with overflow check (throws CheckError on overflow).
 std::int64_t imul_checked(std::int64_t a, std::int64_t b);
-
-/// a+b with overflow check (throws CheckError on overflow).
 std::int64_t iadd_checked(std::int64_t a, std::int64_t b);
 
 /// 7^k as int64 with overflow check (k <= 22).

@@ -1,8 +1,10 @@
 #include "parallel/distsim.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "bilinear/catalog.hpp"
+#include "bounds/formulas.hpp"
 #include "common/check.hpp"
 #include "common/math_util.hpp"
 #include "obs/metrics.hpp"
@@ -32,8 +34,12 @@ using Owners = std::vector<int>;  // per element, processor id
 
 class Simulator {
  public:
-  Simulator(std::int64_t procs, std::int64_t layout_period)
-      : alg_(bilinear::strassen()), c_(layout_period) {
+  /// `injector` may be null (fault-free execution).  The simulator is
+  /// serial, so the injector's per-transfer counter advances in one
+  /// deterministic order.
+  Simulator(std::int64_t procs, std::int64_t layout_period,
+            const resilience::FaultInjector* injector)
+      : alg_(bilinear::strassen()), c_(layout_period), injector_(injector) {
     result_.sent.assign(static_cast<std::size_t>(procs), 0);
     result_.received.assign(static_cast<std::size_t>(procs), 0);
   }
@@ -54,7 +60,28 @@ class Simulator {
     registry.counter("parallel.distsim.runs").increment();
     registry.gauge("parallel.distsim.max_words_per_proc")
         .record_max(result_.max_words_per_proc());
+    if (injector_ != nullptr) {
+      registry.counter("parallel.distsim.faulted_runs").increment();
+      registry.counter("parallel.distsim.retransmitted_words")
+          .add(retransmitted_words_);
+      registry.counter("parallel.distsim.recovery_words")
+          .add(recovery_words_);
+      registry.counter("parallel.distsim.wipes_applied")
+          .add(static_cast<std::int64_t>(events_.size()));
+    }
     return std::move(result_);
+  }
+
+  std::int64_t retransmitted_words() const { return retransmitted_words_; }
+  std::int64_t recovery_words() const { return recovery_words_; }
+  std::vector<resilience::FaultEvent> take_events() {
+    std::sort(events_.begin(), events_.end(),
+              [](const resilience::FaultEvent& a,
+                 const resilience::FaultEvent& b) {
+                return a.step != b.step ? a.step < b.step
+                                        : a.processor < b.processor;
+              });
+    return std::move(events_);
   }
 
  private:
@@ -73,12 +100,27 @@ class Simulator {
     return owners;
   }
 
-  void transfer(int from, int to) {
+  /// Moves one word; when a fault injector is present, the word's
+  /// retransmissions (drops in flight) are charged to the same pair.
+  /// `log` collects the delivered word for wipe-recovery replay.
+  void transfer(int from, int to,
+                std::vector<std::pair<int, int>>* log = nullptr) {
     if (from == to) {
       return;
     }
     ++result_.sent[static_cast<std::size_t>(from)];
     ++result_.received[static_cast<std::size_t>(to)];
+    if (log != nullptr) {
+      log->emplace_back(from, to);
+    }
+    if (injector_ != nullptr) {
+      const int extra = injector_->retransmissions(transfer_counter_++);
+      if (extra > 0) {
+        result_.sent[static_cast<std::size_t>(from)] += extra;
+        result_.received[static_cast<std::size_t>(to)] += extra;
+        retransmitted_words_ += extra;
+      }
+    }
   }
 
   static std::size_t quadrant_index(std::int64_t s, std::size_t quadrant,
@@ -107,7 +149,9 @@ class Simulator {
       return Owners(1, target);
     }
 
-    ++result_.bfs_steps;
+    // This node's BFS step id (0-based pre-order), the coordinate wipe
+    // events are pinned to.
+    const int step = result_.bfs_steps++;
     const std::int64_t sub = s / 2;
     const std::size_t sub_elems = static_cast<std::size_t>(sub * sub);
 
@@ -117,10 +161,15 @@ class Simulator {
       subgroup[p % 7].push_back(group[p]);
     }
 
-    // Encode + redistribute each operand pair into its sub-group.
-    std::vector<Owners> owner_c_r(7);
+    // Encode + redistribute each operand pair into its sub-group,
+    // logging delivered words for wipe recovery.  (Encoding all seven
+    // sub-groups before recursing only reorders when words are counted,
+    // never how many — fault-free totals are unchanged.)
+    std::vector<Owners> target_layouts(7);
+    std::vector<std::pair<int, int>> encode_log;
     for (std::size_t r = 0; r < 7; ++r) {
-      const Owners target_layout = layout(subgroup[r], sub);
+      target_layouts[r] = layout(subgroup[r], sub);
+      const Owners& target_layout = target_layouts[r];
       // Ã_r[e] is combined at its target owner: every contributing
       // quadrant element held elsewhere is sent there.
       for (std::size_t e = 0; e < sub_elems; ++e) {
@@ -129,17 +178,43 @@ class Simulator {
           if (alg_.u().at(r, q) != 0) {
             transfer(owner_a[quadrant_index(s, q,
                                             static_cast<std::int64_t>(e))],
-                     target);
+                     target, &encode_log);
           }
           if (alg_.v().at(r, q) != 0) {
             transfer(owner_b[quadrant_index(s, q,
                                             static_cast<std::int64_t>(e))],
-                     target);
+                     target, &encode_log);
           }
         }
       }
+    }
+
+    // Memory wipes pinned to this step: the wiped processor loses the
+    // encoded operand words it just received.  Each source recomputes
+    // its contribution locally and re-sends — only words that crossed
+    // the network the first time cross it again (the wiped processor's
+    // own durable quadrant data is recombined in place at no I/O cost).
+    if (injector_ != nullptr) {
+      for (const int wiped : injector_->wiped_at(step)) {
+        resilience::FaultEvent event;
+        event.step = step;
+        event.processor = wiped;
+        for (const auto& [from, to] : encode_log) {
+          if (to == wiped) {
+            transfer(from, to);
+            ++event.recovered_words;
+            ++recovery_words_;
+          }
+        }
+        events_.push_back(event);
+      }
+    }
+
+    // Recurse into the seven sub-products.
+    std::vector<Owners> owner_c_r(7);
+    for (std::size_t r = 0; r < 7; ++r) {
       owner_c_r[r] =
-          multiply(sub, subgroup[r], target_layout, target_layout);
+          multiply(sub, subgroup[r], target_layouts[r], target_layouts[r]);
     }
 
     // Decode: C quadrant elements are combined at the parent layout's
@@ -161,12 +236,18 @@ class Simulator {
 
   bilinear::BilinearAlgorithm alg_;
   std::int64_t c_;
+  const resilience::FaultInjector* injector_ = nullptr;
+  std::uint64_t transfer_counter_ = 0;
+  std::int64_t retransmitted_words_ = 0;
+  std::int64_t recovery_words_ = 0;
+  std::vector<resilience::FaultEvent> events_;
   DistSimResult result_;
 };
 
-}  // namespace
-
-DistSimResult simulate_caps_elementwise(std::int64_t n, std::int64_t procs) {
+/// Validates the (n, P) machine shape and returns the layout period c:
+/// the smallest power of two with c^2 >= P (one full layout tile covers
+/// every processor at the top level).
+std::int64_t check_machine(std::int64_t n, std::int64_t procs) {
   FMM_CHECK(n >= 1 && procs >= 1);
   FMM_CHECK_MSG(is_pow2(static_cast<std::uint64_t>(n)),
                 "n must be a power of two");
@@ -178,14 +259,57 @@ DistSimResult simulate_caps_elementwise(std::int64_t n, std::int64_t procs) {
     }
   }
   FMM_CHECK_MSG(n * n >= procs, "need at least one element per processor");
-
-  // Layout period: smallest power of two with c^2 >= P (so one full
-  // layout tile covers every processor at the top level).
   std::int64_t c = 1;
   while (c * c < procs) {
     c *= 2;
   }
-  return Simulator(procs, c).run(n);
+  return c;
+}
+
+}  // namespace
+
+DistSimResult simulate_caps_elementwise(std::int64_t n, std::int64_t procs) {
+  const std::int64_t c = check_machine(n, procs);
+  return Simulator(procs, c, nullptr).run(n);
+}
+
+FaultedDistSimResult simulate_caps_elementwise_faulted(
+    std::int64_t n, std::int64_t procs,
+    const resilience::FaultSpec& faults) {
+  const std::int64_t c = check_machine(n, procs);
+  FMM_CHECK_MSG(procs >= 7,
+                "faulted distsim needs a distributed run (P >= 7); P="
+                    << procs << " keeps everything local");
+  for (const resilience::WipeEvent& wipe : faults.wipes) {
+    FMM_CHECK_MSG(wipe.processor >= 0 && wipe.processor < procs,
+                  "wipe targets processor " << wipe.processor
+                                            << " outside [0, " << procs
+                                            << ")");
+  }
+  FaultedDistSimResult result;
+  result.fault_free = Simulator(procs, c, nullptr).run(n);
+
+  const resilience::FaultInjector injector(faults);
+  Simulator faulted_sim(procs, c, &injector);
+  result.faulted = faulted_sim.run(n);
+  result.retransmitted_words = faulted_sim.retransmitted_words();
+  // recovery_words tallies the wipe-replay sends recorded per event.
+  result.events = faulted_sim.take_events();
+  for (const resilience::FaultEvent& event : result.events) {
+    result.recovery_words += event.recovered_words;
+  }
+
+  result.parallel_lower_bound = bounds::fast_memory_independent(
+      bounds::mm_params_from_ints(n, 1, procs), kOmega0);
+  result.faulted_dominates_fault_free =
+      result.faulted.max_words_per_proc() >=
+      result.fault_free.max_words_per_proc();
+  result.bound_holds =
+      static_cast<double>(result.fault_free.max_words_per_proc()) >=
+          result.parallel_lower_bound &&
+      static_cast<double>(result.faulted.max_words_per_proc()) >=
+          result.parallel_lower_bound;
+  return result;
 }
 
 }  // namespace fmm::parallel

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "resilience/fault.hpp"
+
 namespace fmm::parallel {
 
 struct DistSimResult {
@@ -39,5 +41,41 @@ struct DistSimResult {
 /// only on the coefficient supports, which all catalog algorithms share
 /// in size).  Requires n a power of two and n^2 >= P.
 DistSimResult simulate_caps_elementwise(std::int64_t n, std::int64_t procs);
+
+/// A faulted execution next to its fault-free twin.  The faulted counts
+/// include every extra word charged by recovery:
+///   - dropped messages are retransmitted until delivered (geometric in
+///     the drop rate), each retry charged to the same (sender, receiver);
+///   - a memory wipe at BFS step s destroys the encoded operand words
+///     processor p received during that step's redistribution; recovery
+///     RECOMPUTES each lost word at its contributing sources (local
+///     recombination, no I/O) and re-sends it — words p combined from
+///     its own durable quadrant data are recomputed in place for free,
+///     which is exactly the paper's recomputation-as-recovery story.
+/// Theorem 1.1 holds with recomputation, so the faulted cost must still
+/// dominate the parallel bound; `bound_holds` certifies the chain
+/// faulted >= fault-free >= bound at word granularity.
+struct FaultedDistSimResult {
+  DistSimResult fault_free;
+  DistSimResult faulted;
+  /// Extra words charged to message-drop retransmissions.
+  std::int64_t retransmitted_words = 0;
+  /// Words re-sent by wipe recovery (before their own retransmissions).
+  std::int64_t recovery_words = 0;
+  /// One record per applied wipe, sorted by (step, processor).  Wipes
+  /// naming a step the recursion never reaches are inert and unrecorded.
+  std::vector<resilience::FaultEvent> events;
+  /// Theorem 1.1's memory-independent parallel term Ω(n²/P^{2/ω0}).
+  double parallel_lower_bound = 0.0;
+  bool faulted_dominates_fault_free = false;
+  bool bound_holds = false;
+};
+
+/// Runs the elementwise simulation twice — clean, then under `faults` —
+/// and certifies the faulted cost against the fault-free cost and the
+/// Theorem 1.1 parallel bound.  Deterministic: the fault schedule is a
+/// pure function of the spec (see resilience/fault.hpp).
+FaultedDistSimResult simulate_caps_elementwise_faulted(
+    std::int64_t n, std::int64_t procs, const resilience::FaultSpec& faults);
 
 }  // namespace fmm::parallel

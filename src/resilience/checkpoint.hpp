@@ -1,0 +1,110 @@
+// Crash-tolerant JSON checkpointing for long-running sweeps.
+//
+// A checkpoint is a JSON-lines file: one header object naming the spec
+// fingerprint it belongs to, then one completed task row per line, in
+// COMPLETION order (which may differ run-to-run — only the final report
+// is deterministic, not the order cells finish).  The format is designed
+// around `kill -9` semantics:
+//
+//   - rows are appended and flushed in small batches, so a killed sweep
+//     loses at most the unflushed tail;
+//   - a torn final line (the kill landed mid-write) is detected and
+//     ignored by the loader instead of poisoning the resume;
+//   - the header's fingerprint (FNV-1a over the deterministic spec JSON)
+//     refuses resumption under a different spec, where restored rows
+//     would silently disagree with the enumerated grid.
+//
+// The bundled JSON parser is deliberately minimal (objects, arrays,
+// strings, numbers, bools, null) but keeps NUMBER TOKENS RAW: task seeds
+// are full-range uint64 values that a double-typed parser would corrupt,
+// and byte-identical resume depends on exact round-trips.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fmm::resilience {
+
+/// Parsed JSON value.  Numbers keep their source token (`raw`);
+/// as_i64/as_u64/as_double convert on demand.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool as_bool() const;
+  std::int64_t as_i64() const;
+  std::uint64_t as_u64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+
+  /// Object member lookup; nullptr when absent (throws if not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws CheckError when absent.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;              // raw number token, or string value
+  std::vector<JsonValue> items_;    // array elements
+  std::vector<std::pair<std::string, JsonValue>> members_;  // object
+};
+
+/// Parses one JSON document; throws CheckError on malformed input or
+/// trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// FNV-1a 64-bit hash rendered as 16 hex digits — the spec fingerprint
+/// stored in checkpoint headers.
+std::string fingerprint64(std::string_view text);
+
+/// Append-mode checkpoint writer.  Construction truncates `path` and
+/// writes the header line; append_row buffers rows and flushes every
+/// `flush_every` rows (and on destruction).  Thread-compatible, not
+/// thread-safe: the sweep engine serializes access behind its own mutex.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const std::string& path, const std::string& header_json,
+                   std::size_t flush_every = 1);
+
+  void append_row(const std::string& row_json);
+  void flush();
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::size_t flush_every_ = 1;
+  std::size_t pending_ = 0;
+  std::size_t rows_written_ = 0;
+};
+
+/// A loaded checkpoint: parsed header plus parsed rows.  A torn final
+/// line is dropped silently (`truncated_tail` reports it happened).
+struct CheckpointFile {
+  JsonValue header;
+  std::vector<JsonValue> rows;
+  /// The verbatim source line of each row (same indexing as `rows`), for
+  /// callers that assert byte-exact round-trips.
+  std::vector<std::string> raw_rows;
+  bool truncated_tail = false;
+};
+
+/// Loads `path`; throws CheckError when the file is missing or the
+/// header line is unreadable.
+CheckpointFile load_checkpoint(const std::string& path);
+
+}  // namespace fmm::resilience

@@ -1,0 +1,55 @@
+#include "resilience/retry.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fmm::resilience {
+
+void validate(const RetryPolicy& policy) {
+  FMM_CHECK_MSG(policy.max_attempts >= 1,
+                "retry: max_attempts must be >= 1, got "
+                    << policy.max_attempts);
+  FMM_CHECK_MSG(policy.base_backoff_ticks >= 0,
+                "retry: base_backoff_ticks must be >= 0, got "
+                    << policy.base_backoff_ticks);
+  FMM_CHECK_MSG(policy.backoff_multiplier >= 1,
+                "retry: backoff_multiplier must be >= 1, got "
+                    << policy.backoff_multiplier);
+  FMM_CHECK_MSG(policy.deadline_ticks >= 0,
+                "retry: deadline_ticks must be >= 0, got "
+                    << policy.deadline_ticks);
+}
+
+std::int64_t backoff_before_attempt(const RetryPolicy& policy,
+                                    int attempt) {
+  FMM_CHECK_MSG(attempt >= 2, "attempt 1 has no backoff");
+  // checked_mul/checked_pow: a huge multiplier/attempt combination fails
+  // loudly instead of wrapping into a bogus (possibly negative) delay.
+  return checked_mul(
+      policy.base_backoff_ticks,
+      checked_pow(policy.backoff_multiplier, attempt - 2));
+}
+
+bool try_advance(const RetryPolicy& policy, RetryState& state) {
+  if (state.attempts == 0) {
+    // First attempt: always allowed, no backoff.
+    state.attempts = 1;
+    return true;
+  }
+  if (state.attempts >= policy.max_attempts) {
+    state.gave_up = true;
+    return false;
+  }
+  const std::int64_t delay =
+      backoff_before_attempt(policy, state.attempts + 1);
+  const std::int64_t next_clock = iadd_checked(state.clock_ticks, delay);
+  if (policy.deadline_ticks > 0 && next_clock > policy.deadline_ticks) {
+    state.gave_up = true;
+    return false;
+  }
+  state.clock_ticks = next_clock;
+  ++state.attempts;
+  return true;
+}
+
+}  // namespace fmm::resilience

@@ -1,0 +1,59 @@
+// Deterministic retry-with-exponential-backoff for sweep tasks.
+//
+// Real retry loops sleep on a wall clock, which would make a sweep's
+// report depend on machine load and thread count.  Here the backoff
+// clock is VIRTUAL: every delay is computed (never slept), accumulated
+// per task in integer "ticks", and recorded in the task row.  Two runs
+// of the same spec therefore retry identically — the determinism
+// contract of docs/SWEEPS.md extends to the failure path.
+//
+// A task's retry budget ends when either
+//   - it has used `max_attempts` attempts, or
+//   - its next backoff would push the task's virtual clock past
+//     `deadline_ticks` (the per-task deadline; 0 = none),
+// whichever comes first.  Giving up is not an engine failure: the final
+// attempt's error (which names the cell's (algorithm, n, M) coordinates)
+// becomes the task row's error, annotated with the attempt count.
+#pragma once
+
+#include <cstdint>
+
+namespace fmm::resilience {
+
+/// Tunable retry/backoff knobs; part of the deterministic sweep spec.
+struct RetryPolicy {
+  /// Total attempts per task (1 = no retry).
+  int max_attempts = 1;
+  /// Virtual ticks waited before the 2nd attempt.
+  std::int64_t base_backoff_ticks = 1;
+  /// Successive backoffs multiply by this (>= 1).
+  int backoff_multiplier = 2;
+  /// Per-task virtual deadline; a retry whose backoff would exceed it is
+  /// not made.  0 disables the deadline.
+  std::int64_t deadline_ticks = 0;
+
+  bool retries_enabled() const { return max_attempts > 1; }
+};
+
+/// Throws CheckError unless the policy is well-formed (max_attempts >= 1,
+/// base >= 0, multiplier >= 1, deadline >= 0).
+void validate(const RetryPolicy& policy);
+
+/// The virtual delay inserted before attempt `attempt` (2-based: attempt
+/// 1 runs immediately).  base * multiplier^(attempt - 2), overflow-checked
+/// (throws CheckError if the exponential leaves int64).
+std::int64_t backoff_before_attempt(const RetryPolicy& policy, int attempt);
+
+/// Per-task retry bookkeeping, advanced by the sweep engine.
+struct RetryState {
+  int attempts = 0;               // attempts made so far
+  std::int64_t clock_ticks = 0;   // virtual time spent backing off
+  bool gave_up = false;           // exhausted attempts or deadline
+};
+
+/// True iff another attempt is allowed; when true, `state` has already
+/// been advanced (clock += backoff for the upcoming attempt).  When
+/// false, state.gave_up is set.
+bool try_advance(const RetryPolicy& policy, RetryState& state);
+
+}  // namespace fmm::resilience

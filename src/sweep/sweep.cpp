@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -13,6 +15,7 @@
 #include "bounds/formulas.hpp"
 #include "cdag/builder.hpp"
 #include "common/check.hpp"
+#include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/timing.hpp"
 #include "obs/metrics.hpp"
@@ -20,6 +23,8 @@
 #include "parallel/thread_pool.hpp"
 #include "pebble/liveness.hpp"
 #include "pebble/schedules.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault.hpp"
 
 namespace fmm::sweep {
 
@@ -29,6 +34,9 @@ namespace {
 /// I/O of any valid schedule must sit above bound/8 (the Ω-constant the
 /// repo certifies empirically).
 constexpr double kBoundSlack = 8.0;
+
+inline constexpr const char* kCheckpointSchema = "fmm.sweep.checkpoint";
+inline constexpr int kCheckpointSchemaVersion = 1;
 
 void json_escape(std::ostream& os, const std::string& s) {
   for (const char ch : s) {
@@ -57,6 +65,53 @@ void write_double(std::ostream& os, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.12g", value);
   os << buf;
+}
+
+/// The deterministic spec echo (excludes num_threads, keep_going and the
+/// checkpoint knobs — those must not change the payload).  Also the
+/// preimage of spec_fingerprint().
+std::string spec_to_json(const SweepSpec& spec) {
+  std::ostringstream oss;
+  const auto string_array = [&oss](const auto& items, auto&& render) {
+    oss << "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      oss << (i == 0 ? "" : ", ");
+      render(items[i]);
+    }
+    oss << "]";
+  };
+
+  oss << "{\"algorithms\": ";
+  string_array(spec.algorithms, [&oss](const std::string& s) {
+    oss << '"';
+    json_escape(oss, s);
+    oss << '"';
+  });
+  oss << ", \"n_grid\": ";
+  string_array(spec.n_grid, [&oss](std::size_t n) { oss << n; });
+  oss << ", \"m_grid\": ";
+  string_array(spec.m_grid, [&oss](std::int64_t m) { oss << m; });
+  oss << ", \"kinds\": ";
+  string_array(spec.kinds, [&oss](TaskKind kind) {
+    oss << '"' << task_kind_name(kind) << '"';
+  });
+  oss << ", \"schedule\": \"" << schedule_policy_name(spec.schedule)
+      << "\", \"replacement\": \""
+      << (spec.replacement == pebble::ReplacementPolicy::kBelady ? "belady"
+                                                                 : "lru")
+      << "\", \"remat\": " << (spec.remat ? "true" : "false")
+      << ", \"base_seed\": " << spec.base_seed
+      << ", \"dominator_r\": " << spec.dominator_r
+      << ", \"dominator_samples\": " << spec.dominator_samples
+      << ", \"retry\": {\"max_attempts\": " << spec.retry.max_attempts
+      << ", \"base_backoff_ticks\": " << spec.retry.base_backoff_ticks
+      << ", \"backoff_multiplier\": " << spec.retry.backoff_multiplier
+      << ", \"deadline_ticks\": " << spec.retry.deadline_ticks
+      << "}, \"inject_failure_rate\": ";
+  write_double(oss, spec.inject_failure_rate);
+  oss << ", \"inject_seed\": " << spec.inject_seed
+      << ", \"max_cell_bytes\": " << spec.max_cell_bytes << "}";
+  return oss.str();
 }
 
 std::vector<graph::VertexId> make_schedule(const cdag::Cdag& cdag,
@@ -106,6 +161,66 @@ void copy_sim_payload(TaskResult& out, const pebble::SimResult& sim) {
 double omega0_of(const bilinear::BilinearAlgorithm& alg) {
   return std::log(static_cast<double>(alg.num_products())) /
          std::log(static_cast<double>(alg.n()));
+}
+
+/// "<kind> <algorithm> (n=.., M=..)" — the coordinate prefix every task
+/// error carries.
+std::string cell_prefix(const TaskCell& cell) {
+  std::ostringstream oss;
+  oss << task_kind_name(cell.kind) << " " << cell.algorithm
+      << " (n=" << cell.n << ", M=" << cell.m << ")";
+  return oss.str();
+}
+
+/// Heuristic upper bound on the frozen-CDAG footprint of (alg, n):
+/// vertex count is Θ(t^levels) with a small constant from the geometric
+/// encode/decode layers, so 8·t^levels vertices at ~112 bytes each
+/// over-covers every catalog algorithm.  All arithmetic overflow-checked
+/// — a cell too big to even ESTIMATE is certainly over any budget.
+std::int64_t estimate_cell_bytes(const bilinear::BilinearAlgorithm& alg,
+                                 std::size_t n) {
+  int levels = 0;
+  std::size_t s = n;
+  const auto base = static_cast<std::size_t>(alg.n());
+  while (s > 1) {
+    s = (s + base - 1) / base;
+    ++levels;
+  }
+  const std::int64_t vertices = checked_mul(
+      checked_pow(static_cast<std::int64_t>(alg.num_products()), levels),
+      8);
+  return checked_mul(vertices, 112);
+}
+
+/// True iff (alg, n) must degrade to skipped(budget) rows under
+/// `max_cell_bytes` — either the estimate exceeds the budget or the
+/// estimate itself overflows int64.
+bool cell_over_budget(const bilinear::BilinearAlgorithm& alg,
+                      std::size_t n, std::int64_t max_cell_bytes) {
+  try {
+    return estimate_cell_bytes(alg, n) > max_cell_bytes;
+  } catch (const CheckError&) {
+    return true;
+  }
+}
+
+/// Reads a JSON number field that write_double may have rendered as
+/// null (non-finite) — restored as NaN so re-rendering gives null again.
+double double_or_nan(const resilience::JsonValue& value) {
+  if (value.kind() == resilience::JsonValue::Kind::kNull) {
+    return std::nan("");
+  }
+  return value.as_double();
+}
+
+std::string checkpoint_header_json(const SweepSpec& spec,
+                                   std::size_t num_tasks) {
+  std::ostringstream oss;
+  oss << "{\"schema\": \"" << kCheckpointSchema
+      << "\", \"schema_version\": " << kCheckpointSchemaVersion
+      << ", \"fingerprint\": \"" << spec_fingerprint(spec)
+      << "\", \"num_tasks\": " << num_tasks << "}";
+  return oss.str();
 }
 
 }  // namespace
@@ -218,7 +333,8 @@ TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
         const bilinear::BilinearAlgorithm alg =
             resolve_algorithm(cell.algorithm);
         result.lower_bound = bounds::fast_memory_dependent(
-            {static_cast<double>(cell.n), static_cast<double>(cell.m), 1},
+            bounds::mm_params_from_ints(
+                static_cast<std::int64_t>(cell.n), cell.m),
             omega0_of(alg));
         result.bound_ratio =
             result.lower_bound == 0.0
@@ -232,17 +348,254 @@ TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
     result.ok = true;
   } catch (const std::exception& e) {
     result.ok = false;
-    std::ostringstream oss;
-    oss << task_kind_name(cell.kind) << " " << cell.algorithm
-        << " (n=" << cell.n << ", M=" << cell.m << "): " << e.what();
-    result.error = oss.str();
+    result.error = cell_prefix(cell) + ": " + e.what();
   }
   return result;
+}
+
+TaskResult run_task_with_retry(const TaskCell& cell, const cdag::Cdag& cdag,
+                               const SweepSpec& spec) {
+  resilience::validate(spec.retry);
+  const std::uint64_t inject_seed =
+      spec.inject_seed != 0 ? spec.inject_seed : spec.base_seed;
+  resilience::RetryState state;
+  TaskResult result;
+  while (resilience::try_advance(spec.retry, state)) {
+    if (resilience::FaultInjector::inject_task_failure(
+            inject_seed, cell.index, state.attempts,
+            spec.inject_failure_rate)) {
+      result = TaskResult{};
+      result.cell = cell;
+      result.ok = false;
+      result.error = cell_prefix(cell) + ": injected transient fault (attempt " +
+                     std::to_string(state.attempts) + ")";
+    } else {
+      result = run_task(cell, cdag, spec);
+    }
+    result.attempts = state.attempts;
+    result.backoff_ticks = state.clock_ticks;
+    if (result.ok) {
+      if (state.attempts > 1) {
+        obs::Registry::instance().counter("sweep.retry.recovered")
+            .increment();
+      }
+      return result;
+    }
+  }
+  // Retry budget exhausted (attempts or virtual deadline); the final
+  // attempt's error already names the cell's coordinates.
+  result.gave_up = spec.retry.retries_enabled();
+  if (result.gave_up) {
+    result.error += " — giving up after " + std::to_string(state.attempts) +
+                    " attempt(s)";
+    obs::Registry::instance().counter("sweep.retry.gave_up").increment();
+  }
+  return result;
+}
+
+std::string task_row_json(const TaskResult& task) {
+  std::ostringstream oss;
+  oss << "{\"index\": " << task.cell.index << ", \"kind\": \""
+      << task_kind_name(task.cell.kind) << "\", \"algorithm\": \"";
+  json_escape(oss, task.cell.algorithm);
+  oss << "\", \"n\": " << task.cell.n << ", \"m\": " << task.cell.m
+      << ", \"seed\": " << task.cell.seed
+      << ", \"ok\": " << (task.ok ? "true" : "false");
+  if (task.attempts != 1) {
+    oss << ", \"attempts\": " << task.attempts;
+  }
+  if (task.backoff_ticks != 0) {
+    oss << ", \"backoff_ticks\": " << task.backoff_ticks;
+  }
+  if (task.gave_up) {
+    oss << ", \"gave_up\": true";
+  }
+  if (task.skipped) {
+    oss << ", \"skipped\": true";
+  }
+  if (!task.skip_reason.empty()) {
+    oss << ", \"skip_reason\": \"";
+    json_escape(oss, task.skip_reason);
+    oss << '"';
+  }
+  if (!task.error.empty()) {
+    oss << ", \"error\": \"";
+    json_escape(oss, task.error);
+    oss << '"';
+  }
+  if (task.ok && !task.skipped) {
+    switch (task.cell.kind) {
+      case TaskKind::kSimulate:
+      case TaskKind::kBoundCheck:
+        oss << ", \"loads\": " << task.loads
+            << ", \"stores\": " << task.stores
+            << ", \"total_io\": " << task.total_io
+            << ", \"weighted_io\": " << task.weighted_io
+            << ", \"computations\": " << task.computations
+            << ", \"recomputations\": " << task.recomputations;
+        if (task.cell.kind == TaskKind::kBoundCheck) {
+          oss << ", \"lower_bound\": ";
+          write_double(oss, task.lower_bound);
+          oss << ", \"bound_ratio\": ";
+          write_double(oss, task.bound_ratio);
+          oss << ", \"bound_holds\": "
+              << (task.bound_holds ? "true" : "false");
+        }
+        break;
+      case TaskKind::kLiveness:
+        oss << ", \"liveness_peak\": " << task.liveness_peak;
+        break;
+      case TaskKind::kDominator:
+        oss << ", \"dominator_samples\": " << task.dominator_samples
+            << ", \"dominator_worst_ratio\": ";
+        write_double(oss, task.dominator_worst_ratio);
+        oss << ", \"dominator_holds\": "
+            << (task.dominator_holds ? "true" : "false");
+        break;
+    }
+  }
+  oss << "}";
+  return oss.str();
+}
+
+std::string spec_fingerprint(const SweepSpec& spec) {
+  return resilience::fingerprint64(spec_to_json(spec));
+}
+
+void write_sweep_checkpoint(const std::string& path, const SweepSpec& spec,
+                            const std::vector<TaskResult>& rows) {
+  resilience::CheckpointWriter writer(
+      path, checkpoint_header_json(spec, enumerate_tasks(spec).size()));
+  for (const TaskResult& row : rows) {
+    writer.append_row(task_row_json(row));
+  }
+  writer.flush();
+}
+
+std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
+                                              const SweepSpec& spec) {
+  const std::vector<TaskCell> cells = enumerate_tasks(spec);
+  const resilience::CheckpointFile file =
+      resilience::load_checkpoint(path);
+  FMM_CHECK_MSG(file.header.is_object() &&
+                    file.header.at("schema").as_string() ==
+                        kCheckpointSchema,
+                "checkpoint '" << path << "' is not a sweep checkpoint");
+  FMM_CHECK_MSG(file.header.at("schema_version").as_i64() ==
+                    kCheckpointSchemaVersion,
+                "checkpoint '" << path << "' has unsupported version");
+  FMM_CHECK_MSG(
+      file.header.at("fingerprint").as_string() == spec_fingerprint(spec),
+      "checkpoint '" << path
+                     << "' belongs to a different sweep spec — refusing "
+                        "to resume (fingerprint mismatch)");
+  FMM_CHECK_MSG(file.header.at("num_tasks").as_u64() == cells.size(),
+                "checkpoint '" << path << "' task count "
+                               << file.header.at("num_tasks").as_u64()
+                               << " != " << cells.size());
+
+  std::vector<TaskResult> rows;
+  std::vector<char> seen(cells.size(), 0);
+  for (std::size_t i = 0; i < file.rows.size(); ++i) {
+    const resilience::JsonValue& row = file.rows[i];
+    const std::size_t index =
+        static_cast<std::size_t>(row.at("index").as_u64());
+    FMM_CHECK_MSG(index < cells.size(),
+                  "checkpoint row index " << index << " out of range");
+    const TaskCell& cell = cells[index];
+    FMM_CHECK_MSG(
+        row.at("kind").as_string() == task_kind_name(cell.kind) &&
+            row.at("algorithm").as_string() == cell.algorithm &&
+            row.at("n").as_u64() == cell.n &&
+            row.at("m").as_i64() == cell.m &&
+            row.at("seed").as_u64() == cell.seed,
+        "checkpoint row " << index
+                          << " does not match the spec's grid cell");
+
+    TaskResult r;
+    r.cell = cell;
+    r.ok = row.at("ok").as_bool();
+    if (const auto* v = row.find("attempts")) {
+      r.attempts = static_cast<int>(v->as_i64());
+    }
+    if (const auto* v = row.find("backoff_ticks")) {
+      r.backoff_ticks = v->as_i64();
+    }
+    if (const auto* v = row.find("gave_up")) {
+      r.gave_up = v->as_bool();
+    }
+    if (const auto* v = row.find("skipped")) {
+      r.skipped = v->as_bool();
+    }
+    if (const auto* v = row.find("skip_reason")) {
+      r.skip_reason = v->as_string();
+    }
+    if (const auto* v = row.find("error")) {
+      r.error = v->as_string();
+    }
+    if (const auto* v = row.find("loads")) {
+      r.loads = v->as_i64();
+    }
+    if (const auto* v = row.find("stores")) {
+      r.stores = v->as_i64();
+    }
+    if (const auto* v = row.find("total_io")) {
+      r.total_io = v->as_i64();
+    }
+    if (const auto* v = row.find("weighted_io")) {
+      r.weighted_io = v->as_i64();
+    }
+    if (const auto* v = row.find("computations")) {
+      r.computations = v->as_i64();
+    }
+    if (const auto* v = row.find("recomputations")) {
+      r.recomputations = v->as_i64();
+    }
+    if (const auto* v = row.find("liveness_peak")) {
+      r.liveness_peak = v->as_i64();
+    }
+    if (const auto* v = row.find("dominator_samples")) {
+      r.dominator_samples = v->as_i64();
+    }
+    if (const auto* v = row.find("dominator_worst_ratio")) {
+      r.dominator_worst_ratio = double_or_nan(*v);
+    }
+    if (const auto* v = row.find("dominator_holds")) {
+      r.dominator_holds = v->as_bool();
+    }
+    if (const auto* v = row.find("lower_bound")) {
+      r.lower_bound = double_or_nan(*v);
+    }
+    if (const auto* v = row.find("bound_ratio")) {
+      r.bound_ratio = double_or_nan(*v);
+    }
+    if (const auto* v = row.find("bound_holds")) {
+      r.bound_holds = v->as_bool();
+    }
+
+    // Byte-identity is the whole point of resuming: the restored row
+    // must re-render to exactly the line the checkpoint holds.
+    FMM_CHECK_MSG(task_row_json(r) == file.raw_rows[i],
+                  "checkpoint row " << index
+                                    << " does not round-trip — refusing "
+                                       "a resume that would diverge");
+    seen[index] = 1;
+    rows.push_back(std::move(r));
+  }
+  (void)seen;
+  return rows;
 }
 
 SweepResult run_sweep(const SweepSpec& spec) {
   FMM_TRACE_SPAN("sweep.run", "sweep");
   Stopwatch watch;
+  resilience::validate(spec.retry);
+  FMM_CHECK_MSG(
+      spec.inject_failure_rate >= 0.0 && spec.inject_failure_rate <= 1.0,
+      "inject_failure_rate must be in [0, 1], got "
+          << spec.inject_failure_rate);
+  FMM_CHECK_MSG(spec.max_cell_bytes >= 0,
+                "max_cell_bytes must be >= 0, got " << spec.max_cell_bytes);
   SweepResult result;
   result.spec = spec;
 
@@ -259,10 +612,41 @@ SweepResult run_sweep(const SweepSpec& spec) {
     }
   }
 
+  // Restore completed rows before the checkpoint file is truncated for
+  // this run's writer.
+  std::vector<char> restored(cells.size(), 0);
+  if (spec.resume) {
+    FMM_CHECK_MSG(!spec.checkpoint_path.empty(),
+                  "sweep: resume requires a checkpoint path");
+    for (TaskResult& row : load_sweep_checkpoint(spec.checkpoint_path,
+                                                 spec)) {
+      const std::size_t index = row.cell.index;
+      result.tasks[index] = std::move(row);
+      restored[index] = 1;
+    }
+  }
+  std::unique_ptr<resilience::CheckpointWriter> checkpoint;
+  std::mutex checkpoint_mutex;
+  if (!spec.checkpoint_path.empty()) {
+    checkpoint = std::make_unique<resilience::CheckpointWriter>(
+        spec.checkpoint_path, checkpoint_header_json(spec, cells.size()),
+        spec.checkpoint_every);
+    // Re-seed the fresh file with the restored rows so a second kill
+    // still resumes with them.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (restored[i]) {
+        checkpoint->append_row(task_row_json(result.tasks[i]));
+      }
+    }
+    checkpoint->flush();
+  }
+
   parallel::ThreadPool pool(spec.num_threads);
 
   // Build one frozen CDAG per distinct (algorithm, n), sharded across the
-  // pool; every task of that cell shares it read-only afterwards.
+  // pool; every task of that cell shares it read-only afterwards.  Under
+  // a memory budget, a cell whose estimated footprint exceeds it is not
+  // built at all — its rows degrade to skipped(budget) below.
   std::vector<std::pair<std::string, std::size_t>> keys;
   std::map<std::pair<std::string, std::size_t>, std::size_t> key_index;
   for (const TaskCell& cell : cells) {
@@ -271,9 +655,25 @@ SweepResult run_sweep(const SweepSpec& spec) {
       keys.push_back(key);
     }
   }
+  std::vector<char> over_budget(keys.size(), 0);
+  std::vector<char> key_needed(keys.size(), 0);
+  for (const TaskCell& cell : cells) {
+    if (!restored[cell.index]) {
+      key_needed[key_index.at({cell.algorithm, cell.n})] = 1;
+    }
+  }
   std::vector<cdag::Cdag> cdags(keys.size());
   std::vector<std::string> build_errors(keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!key_needed[i]) {
+      continue;  // every row of this cell was restored from checkpoint
+    }
+    if (spec.max_cell_bytes > 0 &&
+        cell_over_budget(algorithms.at(keys[i].first), keys[i].second,
+                         spec.max_cell_bytes)) {
+      over_budget[i] = 1;
+      continue;
+    }
     pool.submit([&, i] {
       try {
         cdags[i] = cdag::build_cdag(algorithms.at(keys[i].first),
@@ -289,14 +689,42 @@ SweepResult run_sweep(const SweepSpec& spec) {
                   "sweep: CDAG build failed for "
                       << keys[i].first << " n=" << keys[i].second << ": "
                       << build_errors[i]);
+    // The estimate is a heuristic; the measured footprint is the
+    // authority.  Release an over-budget graph immediately.
+    if (key_needed[i] && !over_budget[i] && spec.max_cell_bytes > 0 &&
+        static_cast<std::int64_t>(cdags[i].graph.memory_bytes()) >
+            spec.max_cell_bytes) {
+      over_budget[i] = 1;
+      cdags[i] = cdag::Cdag{};
+    }
   }
 
   // Shard the cells.  Each task writes only to its own slot; under
   // fail-fast the first failure cancels the remaining queue (the report
   // is never emitted on that path, so cancellation cannot perturb it).
   parallel::CancellationToken cancel;
+  std::size_t budget_skips = 0;
   for (const TaskCell& cell : cells) {
-    const cdag::Cdag& cdag = cdags[key_index.at({cell.algorithm, cell.n})];
+    if (restored[cell.index]) {
+      continue;
+    }
+    const std::size_t key = key_index.at({cell.algorithm, cell.n});
+    if (over_budget[key]) {
+      // Graceful degradation: the oversized cell becomes a recorded
+      // skip, not an OOM kill.  Deterministic, so checkpointable.
+      TaskResult& slot = result.tasks[cell.index];
+      slot.cell = cell;
+      slot.ok = true;
+      slot.skipped = true;
+      slot.skip_reason = "budget";
+      slot.attempts = 0;
+      ++budget_skips;
+      if (checkpoint) {
+        checkpoint->append_row(task_row_json(slot));
+      }
+      continue;
+    }
+    const cdag::Cdag& cdag = cdags[key];
     pool.submit([&, cell] {
       TaskResult& slot = result.tasks[cell.index];
       if (cancel.cancelled()) {
@@ -304,7 +732,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
         slot.error = "cancelled";
         return;
       }
-      slot = run_task(cell, cdag, spec);
+      slot = run_task_with_retry(cell, cdag, spec);
+      if (checkpoint) {
+        const std::scoped_lock lock(checkpoint_mutex);
+        checkpoint->append_row(task_row_json(slot));
+      }
       if (!slot.ok && !spec.keep_going) {
         cancel.cancel();
         pool.cancel_pending();
@@ -312,6 +744,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
     });
   }
   pool.wait_idle();
+  if (checkpoint) {
+    checkpoint->flush();
+  }
 
   // Fail-fast: surface the lowest-index genuine failure (deterministic
   // even when several workers failed concurrently).
@@ -367,6 +802,12 @@ SweepResult run_sweep(const SweepSpec& spec) {
       .add(static_cast<std::int64_t>(result.failed));
   registry.counter("sweep.cdags_built")
       .add(static_cast<std::int64_t>(keys.size()));
+  registry.counter("sweep.budget_skips")
+      .add(static_cast<std::int64_t>(budget_skips));
+  if (checkpoint) {
+    registry.counter("sweep.checkpoint_rows")
+        .add(static_cast<std::int64_t>(checkpoint->rows_written()));
+  }
   registry.gauge("sweep.threads")
       .set(static_cast<std::int64_t>(pool.num_threads()));
   return result;
@@ -374,41 +815,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
 std::string SweepResult::to_json() const {
   std::ostringstream oss;
-  const auto string_array = [&oss](const auto& items, auto&& render) {
-    oss << "[";
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      oss << (i == 0 ? "" : ", ");
-      render(items[i]);
-    }
-    oss << "]";
-  };
-
   oss << "{\n";
   oss << "      \"schema\": \"" << kSweepSchema << "\",\n";
   oss << "      \"schema_version\": " << kSweepSchemaVersion << ",\n";
 
-  oss << "      \"spec\": {\"algorithms\": ";
-  string_array(spec.algorithms, [&oss](const std::string& s) {
-    oss << '"';
-    json_escape(oss, s);
-    oss << '"';
-  });
-  oss << ", \"n_grid\": ";
-  string_array(spec.n_grid, [&oss](std::size_t n) { oss << n; });
-  oss << ", \"m_grid\": ";
-  string_array(spec.m_grid, [&oss](std::int64_t m) { oss << m; });
-  oss << ", \"kinds\": ";
-  string_array(spec.kinds, [&oss](TaskKind kind) {
-    oss << '"' << task_kind_name(kind) << '"';
-  });
-  oss << ", \"schedule\": \"" << schedule_policy_name(spec.schedule)
-      << "\", \"replacement\": \""
-      << (spec.replacement == pebble::ReplacementPolicy::kBelady ? "belady"
-                                                                 : "lru")
-      << "\", \"remat\": " << (spec.remat ? "true" : "false")
-      << ", \"base_seed\": " << spec.base_seed
-      << ", \"dominator_r\": " << spec.dominator_r
-      << ", \"dominator_samples\": " << spec.dominator_samples << "},\n";
+  oss << "      \"spec\": " << spec_to_json(spec) << ",\n";
 
   oss << "      \"num_tasks\": " << num_tasks << ",\n";
   oss << "      \"completed\": " << completed << ",\n";
@@ -427,56 +838,51 @@ std::string SweepResult::to_json() const {
 
   oss << "      \"tasks\": [";
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const TaskResult& task = tasks[i];
-    oss << (i == 0 ? "\n" : ",\n") << "        {\"index\": "
-        << task.cell.index << ", \"kind\": \""
-        << task_kind_name(task.cell.kind) << "\", \"algorithm\": \"";
-    json_escape(oss, task.cell.algorithm);
-    oss << "\", \"n\": " << task.cell.n << ", \"m\": " << task.cell.m
-        << ", \"seed\": " << task.cell.seed
-        << ", \"ok\": " << (task.ok ? "true" : "false");
-    if (task.skipped) {
-      oss << ", \"skipped\": true";
-    }
-    if (!task.error.empty()) {
-      oss << ", \"error\": \"";
-      json_escape(oss, task.error);
-      oss << '"';
-    }
-    if (task.ok && !task.skipped) {
-      switch (task.cell.kind) {
-        case TaskKind::kSimulate:
-        case TaskKind::kBoundCheck:
-          oss << ", \"loads\": " << task.loads
-              << ", \"stores\": " << task.stores
-              << ", \"total_io\": " << task.total_io
-              << ", \"weighted_io\": " << task.weighted_io
-              << ", \"computations\": " << task.computations
-              << ", \"recomputations\": " << task.recomputations;
-          if (task.cell.kind == TaskKind::kBoundCheck) {
-            oss << ", \"lower_bound\": ";
-            write_double(oss, task.lower_bound);
-            oss << ", \"bound_ratio\": ";
-            write_double(oss, task.bound_ratio);
-            oss << ", \"bound_holds\": "
-                << (task.bound_holds ? "true" : "false");
-          }
-          break;
-        case TaskKind::kLiveness:
-          oss << ", \"liveness_peak\": " << task.liveness_peak;
-          break;
-        case TaskKind::kDominator:
-          oss << ", \"dominator_samples\": " << task.dominator_samples
-              << ", \"dominator_worst_ratio\": ";
-          write_double(oss, task.dominator_worst_ratio);
-          oss << ", \"dominator_holds\": "
-              << (task.dominator_holds ? "true" : "false");
-          break;
-      }
-    }
-    oss << "}";
+    oss << (i == 0 ? "\n" : ",\n") << "        "
+        << task_row_json(tasks[i]);
   }
   oss << (tasks.empty() ? "" : "\n      ") << "]\n";
+  oss << "    }";
+  return oss.str();
+}
+
+std::string SweepResult::resilience_json() const {
+  std::int64_t total_attempts = 0;
+  std::int64_t total_backoff_ticks = 0;
+  std::size_t retried_tasks = 0;
+  std::size_t gave_up_tasks = 0;
+  std::size_t budget_skipped = 0;
+  for (const TaskResult& task : tasks) {
+    total_attempts += task.attempts;
+    total_backoff_ticks += task.backoff_ticks;
+    if (task.attempts > 1) {
+      ++retried_tasks;
+    }
+    if (task.gave_up) {
+      ++gave_up_tasks;
+    }
+    if (task.skip_reason == "budget") {
+      ++budget_skipped;
+    }
+  }
+  std::ostringstream oss;
+  oss << "{\n";
+  oss << "      \"schema\": \"fmm.resilience\",\n";
+  oss << "      \"schema_version\": 1,\n";
+  oss << "      \"retry\": {\"max_attempts\": " << spec.retry.max_attempts
+      << ", \"base_backoff_ticks\": " << spec.retry.base_backoff_ticks
+      << ", \"backoff_multiplier\": " << spec.retry.backoff_multiplier
+      << ", \"deadline_ticks\": " << spec.retry.deadline_ticks << "},\n";
+  oss << "      \"inject_failure_rate\": ";
+  write_double(oss, spec.inject_failure_rate);
+  oss << ",\n";
+  oss << "      \"max_cell_bytes\": " << spec.max_cell_bytes << ",\n";
+  oss << "      \"total_attempts\": " << total_attempts << ",\n";
+  oss << "      \"retried_tasks\": " << retried_tasks << ",\n";
+  oss << "      \"gave_up_tasks\": " << gave_up_tasks << ",\n";
+  oss << "      \"budget_skipped\": " << budget_skipped << ",\n";
+  oss << "      \"total_backoff_ticks\": " << total_backoff_ticks << ",\n";
+  oss << "      \"fault_events\": []\n";
   oss << "    }";
   return oss.str();
 }
@@ -492,6 +898,7 @@ void SweepResult::attach_to(obs::RunReport& report) const {
   report.set_result("all_dominators_hold", all_dominators_hold);
   report.add_phase_seconds("sweep", wall_seconds);
   report.add_raw_section("sweep", to_json());
+  report.add_raw_section("resilience", resilience_json());
 }
 
 }  // namespace fmm::sweep

@@ -24,6 +24,16 @@
 // spec.keep_going=false (default) the engine cancels the remaining queue
 // and rethrows a CheckError naming the lowest-index failing cell; with
 // keep_going=true failures become rows of the report instead.
+//
+// Resilience layer (docs/RESILIENCE.md): failing tasks retry with
+// exponential backoff on a VIRTUAL clock (delays are computed and
+// recorded, never slept, so the report stays byte-identical across
+// thread counts), cells whose CDAG would blow the per-cell memory
+// budget degrade into skipped(reason=budget) rows instead of OOM-killing
+// the sweep, and completed rows stream into a JSON-lines checkpoint a
+// killed sweep can resume from — the resumed report is byte-identical
+// to an uninterrupted run.  checkpoint_path / checkpoint_every / resume
+// are, like num_threads, NOT part of the deterministic payload.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +44,7 @@
 #include "cdag/cdag.hpp"
 #include "obs/run_report.hpp"
 #include "pebble/machine.hpp"
+#include "resilience/retry.hpp"
 
 namespace fmm::sweep {
 
@@ -76,6 +87,28 @@ struct SweepSpec {
   /// Lemma 3.7 certification parameters (kDominator tasks).
   std::size_t dominator_r = 2;
   std::size_t dominator_samples = 3;
+
+  // --- Resilience (deterministic payload) --------------------------------
+  /// Retry-with-backoff policy for failing tasks (virtual clock).
+  resilience::RetryPolicy retry;
+  /// Probability that an attempt fails with an injected transient fault,
+  /// drawn from the (inject_seed, task_index, attempt) SplitMix64 stream.
+  /// Chaos/testing knob; 0 disables injection.
+  double inject_failure_rate = 0.0;
+  /// Seed of the injection stream; 0 = reuse base_seed.
+  std::uint64_t inject_seed = 0;
+  /// Per-cell memory budget in bytes; a cell whose CDAG (estimated, then
+  /// measured) exceeds it becomes a skipped(reason=budget) row.  0 = off.
+  std::int64_t max_cell_bytes = 0;
+
+  // --- Resilience (NOT part of the deterministic payload) ----------------
+  /// Stream completed rows into this JSON-lines checkpoint ("" = off).
+  std::string checkpoint_path;
+  /// Rows per checkpoint flush (bounds what a kill can lose).
+  std::size_t checkpoint_every = 1;
+  /// Restore completed rows from checkpoint_path before running; the
+  /// final report is byte-identical to an uninterrupted run.
+  bool resume = false;
 };
 
 /// One enumerated grid cell (static description, known before running).
@@ -95,7 +128,18 @@ struct TaskResult {
   bool ok = false;
   /// Cell did not apply (e.g. dominator level not tracked at this n).
   bool skipped = false;
+  /// Why a cell was skipped without running ("budget"); empty for
+  /// kind-level skips like an untracked dominator level.
+  std::string skip_reason;
   std::string error;  // non-empty iff !ok
+
+  /// Attempts actually made (1 = first try; 0 = never ran, e.g. budget
+  /// skip).  Rendered in the row JSON only when != 1.
+  int attempts = 1;
+  /// Virtual backoff ticks accumulated across retries of this cell.
+  std::int64_t backoff_ticks = 0;
+  /// Failed after exhausting the retry budget (max_attempts/deadline).
+  bool gave_up = false;
 
   // kSimulate / kBoundCheck payload.
   std::int64_t loads = 0;
@@ -146,7 +190,14 @@ struct SweepResult {
   /// across num_threads values for a fixed spec.
   std::string to_json() const;
 
-  /// Embeds to_json() under extra.sweep and records headline results
+  /// The `extra.resilience` section: retry configuration plus attempt /
+  /// give-up / budget aggregates re-derivable from the task rows.  Like
+  /// to_json(), deterministic across thread counts and across
+  /// checkpoint-resume (checkpoint state is deliberately excluded).
+  std::string resilience_json() const;
+
+  /// Embeds to_json() under extra.sweep (and resilience_json() under
+  /// extra.resilience) and records headline results
   /// (sweep_tasks/sweep_failed/total_io) so `fmmio sweep --out` emits one
   /// schema-validated file.
   void attach_to(obs::RunReport& report) const;
@@ -171,6 +222,36 @@ std::vector<TaskCell> enumerate_tasks(const SweepSpec& spec);
 /// recorded in the result with the cell's coordinates.
 TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
                     const SweepSpec& spec);
+
+/// run_task wrapped in the spec's retry policy (plus injected transient
+/// faults when spec.inject_failure_rate > 0): re-attempts a failing cell
+/// with exponential backoff on the task's virtual clock until it
+/// succeeds or the retry budget is exhausted, in which case the final
+/// error is annotated with the attempt count (the cell's (algorithm, n,
+/// M) coordinates are already in it).  Never throws.
+TaskResult run_task_with_retry(const TaskCell& cell, const cdag::Cdag& cdag,
+                               const SweepSpec& spec);
+
+/// Renders one task row exactly as it appears in to_json()'s "tasks"
+/// array — also the checkpoint row format.
+std::string task_row_json(const TaskResult& task);
+
+/// The FNV-1a fingerprint of the spec's deterministic JSON echo;
+/// checkpoint files carry it so a resume under a different spec is
+/// refused instead of silently mixing grids.
+std::string spec_fingerprint(const SweepSpec& spec);
+
+/// Writes a complete checkpoint file holding `rows` (the engine streams
+/// rows incrementally; this whole-file form is for tests and tools).
+void write_sweep_checkpoint(const std::string& path, const SweepSpec& spec,
+                            const std::vector<TaskResult>& rows);
+
+/// Loads and validates a checkpoint against `spec` (fingerprint, task
+/// count, per-row coordinates).  Returns the restored rows; throws
+/// CheckError on any mismatch.  A torn trailing line (killed writer) is
+/// dropped.
+std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
+                                              const SweepSpec& spec);
 
 /// Runs the whole sweep on spec.num_threads workers.  Throws CheckError
 /// naming the failing cell's (algorithm, n, M) unless spec.keep_going.

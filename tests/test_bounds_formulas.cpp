@@ -34,6 +34,26 @@ TEST(Fast, MemoryIndependentValue) {
               1e-6);
 }
 
+TEST(Params, FromIntsMatchesDoubleConstruction) {
+  const MmParams p = mm_params_from_ints(64, 16, 343);
+  EXPECT_DOUBLE_EQ(p.n, 64.0);
+  EXPECT_DOUBLE_EQ(p.m, 16.0);
+  EXPECT_DOUBLE_EQ(p.p, 343.0);
+  const MmParams seq = mm_params_from_ints(1024, 256);
+  EXPECT_DOUBLE_EQ(seq.p, 1.0);
+}
+
+TEST(Params, FromIntsRejectsNonPositiveAndOverflowing) {
+  EXPECT_THROW(mm_params_from_ints(0, 16), CheckError);
+  EXPECT_THROW(mm_params_from_ints(64, 0), CheckError);
+  EXPECT_THROW(mm_params_from_ints(64, 16, 0), CheckError);
+  // n^3-scale counts must fit int64: n = 2^21 cubes to 2^63.
+  EXPECT_THROW(mm_params_from_ints(std::int64_t{1} << 21, 16), CheckError);
+  // n*M overflow with representable n^3.
+  EXPECT_THROW(mm_params_from_ints(1 << 20, std::int64_t{1} << 62),
+               CheckError);
+}
+
 TEST(Fast, FastBelowClassicSequential) {
   // The fast bound is asymptotically lower: exponent log2 7 < 3.
   for (const double n : {256.0, 1024.0, 4096.0}) {

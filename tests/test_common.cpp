@@ -81,6 +81,23 @@ TEST(MathUtil, MulAddOverflow) {
   EXPECT_THROW(iadd_checked(INT64_MAX, 1), CheckError);
 }
 
+TEST(MathUtil, CheckedMulAddPow) {
+  EXPECT_EQ(checked_mul(1ll << 31, 1ll << 31), 1ll << 62);
+  EXPECT_EQ(checked_mul(-3, 7), -21);
+  EXPECT_THROW(checked_mul(1ll << 32, 1ll << 32), CheckError);
+  EXPECT_THROW(checked_mul(INT64_MIN, -1), CheckError);
+
+  EXPECT_EQ(checked_add(INT64_MAX - 1, 1), INT64_MAX);
+  EXPECT_THROW(checked_add(INT64_MAX, 1), CheckError);
+  EXPECT_THROW(checked_add(INT64_MIN, -1), CheckError);
+
+  EXPECT_EQ(checked_pow(7, 6), 117649);
+  EXPECT_EQ(checked_pow(2, 62), 1ll << 62);
+  EXPECT_EQ(checked_pow(123, 0), 1);
+  EXPECT_THROW(checked_pow(2, 63), CheckError);
+  EXPECT_THROW(checked_pow(7, 30), CheckError);
+}
+
 TEST(MathUtil, Pow7) {
   EXPECT_EQ(pow7(0), 1);
   EXPECT_EQ(pow7(3), 343);
