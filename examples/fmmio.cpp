@@ -461,7 +461,9 @@ int cmd_parallel(const Args& args) {
     usage_error("parallel: --m must be >= 0 (0 = unlimited), got " +
                 std::to_string(m));
   }
-  if (n * n < p) {
+  // n*n < p, phrased to survive huge --n: for n >= 1, p >= 1 this is
+  // exactly (p - 1) / n >= n, with no overflowing square.
+  if ((p - 1) / n >= n) {
     usage_error("parallel: need n^2 >= P (one element per processor); "
                 "got n=" + std::to_string(n) + ", P=" + std::to_string(p));
   }

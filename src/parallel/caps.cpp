@@ -74,7 +74,9 @@ CapsResult simulate_caps(std::int64_t n, std::int64_t procs,
       p /= 7;
     }
   }
-  FMM_CHECK_MSG(n * n >= procs, "need at least one element per processor");
+  // n*n >= procs without the overflowing square (n can be huge).
+  FMM_CHECK_MSG((procs - 1) / n < n,
+                "need at least one element per processor");
 
   const Acc acc = simulate(static_cast<double>(n),
                            static_cast<double>(procs),

@@ -1,5 +1,6 @@
 #include "resilience/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -268,15 +269,28 @@ std::string fingerprint64(std::string_view text) {
 
 CheckpointWriter::CheckpointWriter(const std::string& path,
                                    const std::string& header_json,
-                                   std::size_t flush_every)
-    : path_(path), flush_every_(flush_every == 0 ? 1 : flush_every) {
-  out_.open(path, std::ios::out | std::ios::trunc);
-  FMM_CHECK_MSG(out_.good(),
-                "checkpoint: cannot open '" << path << "' for writing");
+                                   std::size_t flush_every,
+                                   bool replace_atomically)
+    : path_(path),
+      write_path_(replace_atomically ? path + ".tmp" : path),
+      published_(!replace_atomically),
+      flush_every_(flush_every == 0 ? 1 : flush_every) {
+  out_.open(write_path_, std::ios::out | std::ios::trunc);
+  FMM_CHECK_MSG(out_.good(), "checkpoint: cannot open '" << write_path_
+                                                         << "' for writing");
   out_ << header_json << '\n';
   out_.flush();
-  FMM_CHECK_MSG(out_.good(), "checkpoint: write failed on '" << path
+  FMM_CHECK_MSG(out_.good(), "checkpoint: write failed on '" << write_path_
                                                              << "'");
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  // An unpublished temporary must not linger: until publish() the file
+  // at `path_` remains the authoritative checkpoint.
+  if (!published_) {
+    out_.close();
+    std::remove(write_path_.c_str());
+  }
 }
 
 void CheckpointWriter::append_row(const std::string& row_json) {
@@ -295,6 +309,22 @@ void CheckpointWriter::flush() {
   FMM_CHECK_MSG(out_.good(), "checkpoint: flush failed on '" << path_
                                                              << "'");
   pending_ = 0;
+}
+
+void CheckpointWriter::publish() {
+  if (published_) {
+    return;
+  }
+  out_.flush();
+  FMM_CHECK_MSG(out_.good(), "checkpoint: flush failed on '" << write_path_
+                                                             << "'");
+  pending_ = 0;
+  FMM_CHECK_MSG(std::rename(write_path_.c_str(), path_.c_str()) == 0,
+                "checkpoint: cannot rename '" << write_path_ << "' onto '"
+                                              << path_ << "'");
+  // POSIX rename: the open descriptor follows the inode, so subsequent
+  // append_row calls keep writing to the file now named `path_`.
+  published_ = true;
 }
 
 CheckpointFile load_checkpoint(const std::string& path) {

@@ -75,18 +75,34 @@ std::string fingerprint64(std::string_view text);
 /// writes the header line; append_row buffers rows and flushes every
 /// `flush_every` rows (and on destruction).  Thread-compatible, not
 /// thread-safe: the sweep engine serializes access behind its own mutex.
+///
+/// With `replace_atomically`, construction instead truncates a sibling
+/// temporary (`path` + ".tmp") and `path` itself is untouched until
+/// publish() renames the temporary over it — so a kill at any point
+/// before publish() leaves the previous checkpoint intact.  Used by
+/// --resume, which must re-seed restored rows without a window where
+/// the old file is truncated but the new one not yet durable.
 class CheckpointWriter {
  public:
   CheckpointWriter(const std::string& path, const std::string& header_json,
-                   std::size_t flush_every = 1);
+                   std::size_t flush_every = 1,
+                   bool replace_atomically = false);
+  ~CheckpointWriter();
 
   void append_row(const std::string& row_json);
   void flush();
+  /// With replace_atomically: flushes, then atomically renames the
+  /// temporary onto `path`; the open stream keeps appending to the
+  /// renamed file.  Call once the rows that must survive a crash are
+  /// appended.  No-op otherwise (or on a second call).
+  void publish();
   std::size_t rows_written() const { return rows_written_; }
 
  private:
   std::ofstream out_;
   std::string path_;
+  std::string write_path_;
+  bool published_ = true;
   std::size_t flush_every_ = 1;
   std::size_t pending_ = 0;
   std::size_t rows_written_ = 0;

@@ -1,9 +1,43 @@
 #include "resilience/retry.hpp"
 
+#include <limits>
+
 #include "common/check.hpp"
 #include "common/math_util.hpp"
 
 namespace fmm::resilience {
+
+namespace {
+
+constexpr std::int64_t kTickMax = std::numeric_limits<std::int64_t>::max();
+
+// Saturating arithmetic over nonnegative ticks.  try_advance must never
+// throw (run_task_with_retry promises the sweep engine a no-throw retry
+// loop), yet a perfectly valid policy — say max_attempts=80 with
+// multiplier 2 — overflows int64 backoff around attempt 64 on a
+// persistently failing task.  A saturated delay still trips any nonzero
+// deadline; with no deadline the task keeps its full attempt budget with
+// the virtual clock pinned at INT64_MAX.
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return a > kTickMax / b ? kTickMax : a * b;
+}
+
+std::int64_t sat_pow(std::int64_t base, int exp) {
+  std::int64_t value = 1;
+  for (int i = 0; i < exp && value < kTickMax; ++i) {
+    value = sat_mul(value, base);
+  }
+  return value;
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  return a > kTickMax - b ? kTickMax : a + b;
+}
+
+}  // namespace
 
 void validate(const RetryPolicy& policy) {
   FMM_CHECK_MSG(policy.max_attempts >= 1,
@@ -40,9 +74,12 @@ bool try_advance(const RetryPolicy& policy, RetryState& state) {
     state.gave_up = true;
     return false;
   }
+  // Saturating mirror of backoff_before_attempt(attempts + 1): overflow
+  // here is not a caller bug, so it must not throw.
   const std::int64_t delay =
-      backoff_before_attempt(policy, state.attempts + 1);
-  const std::int64_t next_clock = iadd_checked(state.clock_ticks, delay);
+      sat_mul(policy.base_backoff_ticks,
+              sat_pow(policy.backoff_multiplier, state.attempts - 1));
+  const std::int64_t next_clock = sat_add(state.clock_ticks, delay);
   if (policy.deadline_ticks > 0 && next_clock > policy.deadline_ticks) {
     state.gave_up = true;
     return false;

@@ -53,7 +53,10 @@ struct RetryState {
 
 /// True iff another attempt is allowed; when true, `state` has already
 /// been advanced (clock += backoff for the upcoming attempt).  When
-/// false, state.gave_up is set.
+/// false, state.gave_up is set.  Never throws: unlike
+/// backoff_before_attempt, an overflowing backoff saturates the virtual
+/// clock at INT64_MAX ticks (which trips any nonzero deadline) so a
+/// long retry budget cannot abort the sweep engine.
 bool try_advance(const RetryPolicy& policy, RetryState& state);
 
 }  // namespace fmm::resilience

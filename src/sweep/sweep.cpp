@@ -502,6 +502,10 @@ std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
         static_cast<std::size_t>(row.at("index").as_u64());
     FMM_CHECK_MSG(index < cells.size(),
                   "checkpoint row index " << index << " out of range");
+    FMM_CHECK_MSG(!seen[index],
+                  "checkpoint row " << index
+                                    << " appears more than once — refusing "
+                                       "a corrupt resume");
     const TaskCell& cell = cells[index];
     FMM_CHECK_MSG(
         row.at("kind").as_string() == task_kind_name(cell.kind) &&
@@ -582,7 +586,6 @@ std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
     seen[index] = 1;
     rows.push_back(std::move(r));
   }
-  (void)seen;
   return rows;
 }
 
@@ -612,8 +615,6 @@ SweepResult run_sweep(const SweepSpec& spec) {
     }
   }
 
-  // Restore completed rows before the checkpoint file is truncated for
-  // this run's writer.
   std::vector<char> restored(cells.size(), 0);
   if (spec.resume) {
     FMM_CHECK_MSG(!spec.checkpoint_path.empty(),
@@ -628,17 +629,20 @@ SweepResult run_sweep(const SweepSpec& spec) {
   std::unique_ptr<resilience::CheckpointWriter> checkpoint;
   std::mutex checkpoint_mutex;
   if (!spec.checkpoint_path.empty()) {
+    // On resume the writer seeds a temporary and publish() renames it
+    // over the old checkpoint only after the restored rows are flushed:
+    // a kill at any point during re-seeding leaves the previous file —
+    // and every completed row it holds — intact.
     checkpoint = std::make_unique<resilience::CheckpointWriter>(
         spec.checkpoint_path, checkpoint_header_json(spec, cells.size()),
-        spec.checkpoint_every);
-    // Re-seed the fresh file with the restored rows so a second kill
-    // still resumes with them.
+        spec.checkpoint_every, /*replace_atomically=*/spec.resume);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (restored[i]) {
         checkpoint->append_row(task_row_json(result.tasks[i]));
       }
     }
     checkpoint->flush();
+    checkpoint->publish();
   }
 
   parallel::ThreadPool pool(spec.num_threads);
@@ -720,6 +724,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
       slot.attempts = 0;
       ++budget_skips;
       if (checkpoint) {
+        // Workers submitted by earlier iterations may already be
+        // appending; the writer is thread-compatible, not thread-safe.
+        const std::scoped_lock lock(checkpoint_mutex);
         checkpoint->append_row(task_row_json(slot));
       }
       continue;

@@ -1,7 +1,9 @@
 // Fault injection, retry, checkpoint/resume, and recovery-by-
 // recomputation: the resilience layer's determinism contracts.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -231,6 +233,40 @@ TEST(ResilienceRetry, VirtualDeadlineCutsRetriesShort) {
   EXPECT_EQ(state.clock_ticks, 3);
 }
 
+TEST(ResilienceRetry, OverflowingBackoffSaturatesInsteadOfThrowing) {
+  // A long retry budget legitimately overflows int64 backoff around
+  // attempt 64; try_advance must saturate, not throw, and without a
+  // deadline the task keeps its full attempt budget.
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 80;
+  policy.base_backoff_ticks = 1;
+  policy.backoff_multiplier = 2;
+  policy.deadline_ticks = 0;
+  resilience::RetryState state;
+  for (int i = 0; i < 80; ++i) {
+    EXPECT_TRUE(resilience::try_advance(policy, state)) << "attempt "
+                                                        << (i + 1);
+  }
+  EXPECT_EQ(state.attempts, 80);
+  EXPECT_EQ(state.clock_ticks, std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(resilience::try_advance(policy, state));
+  EXPECT_TRUE(state.gave_up);
+}
+
+TEST(ResilienceRetry, SaturatedBackoffTripsNonzeroDeadline) {
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.base_backoff_ticks = 1;
+  policy.backoff_multiplier = 2;
+  policy.deadline_ticks = std::int64_t{1} << 62;
+  resilience::RetryState state;
+  while (resilience::try_advance(policy, state)) {
+  }
+  EXPECT_TRUE(state.gave_up);
+  EXPECT_LT(state.attempts, 80) << "deadline should cut the budget short";
+  EXPECT_LE(state.clock_ticks, policy.deadline_ticks);
+}
+
 TEST(ResilienceRetry, ValidateRejectsMalformedPolicies) {
   resilience::RetryPolicy policy;
   policy.max_attempts = 0;
@@ -412,6 +448,98 @@ TEST(ResilienceCheckpoint, RefusesResumeUnderDifferentSpec) {
   same.checkpoint_path = path;
   same.resume = true;
   EXPECT_NO_THROW(sweep::load_sweep_checkpoint(path, same));
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceCheckpoint, BudgetSkipsCheckpointSafelyAlongsideWorkers) {
+  // Budget-skip rows are appended from the submitting thread while
+  // already-queued workers append their own rows; both sides must
+  // serialize on the checkpoint mutex (TSan guards this test).
+  sweep::SweepSpec spec = tiny_spec();
+  spec.max_cell_bytes = 100 * 1024;
+  spec.num_threads = 8;
+  const std::string path = temp_path("budget.jsonl");
+  spec.checkpoint_path = path;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  const auto file = resilience::load_checkpoint(path);
+  EXPECT_FALSE(file.truncated_tail);
+  ASSERT_EQ(file.rows.size(), result.tasks.size());
+  std::size_t skipped = 0;
+  for (const auto& row : file.rows) {
+    if (const auto* v = row.find("skipped")) {
+      skipped += v->as_bool() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(skipped, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceCheckpoint, DuplicateRowIsRejectedAsCorruption) {
+  sweep::SweepSpec spec = tiny_spec();
+  const sweep::SweepResult reference = sweep::run_sweep(spec);
+  const std::string path = temp_path("duplicate.jsonl");
+  sweep::write_sweep_checkpoint(path, spec, reference.tasks);
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      lines.push_back(line);
+    }
+  }
+  ASSERT_GE(lines.size(), 2u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (const std::string& line : lines) {
+      out << line << '\n';
+    }
+    out << lines[1] << '\n';  // the same task index appears twice
+  }
+  EXPECT_THROW(sweep::load_sweep_checkpoint(path, spec), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceCheckpoint, AtomicWriterPreservesOldFileUntilPublish) {
+  const std::string path = temp_path("atomic.jsonl");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema\": \"old\"}\n{\"index\": 0}\n";
+  }
+  {
+    resilience::CheckpointWriter writer(path, "{\"schema\": \"new\"}", 1,
+                                        /*replace_atomically=*/true);
+    writer.append_row("{\"index\": 7}");
+    writer.flush();
+    // Until publish(), the original checkpoint is untouched.
+    const auto before = resilience::load_checkpoint(path);
+    EXPECT_EQ(before.header.at("schema").as_string(), "old");
+    ASSERT_EQ(before.rows.size(), 1u);
+
+    writer.publish();
+    const auto after = resilience::load_checkpoint(path);
+    EXPECT_EQ(after.header.at("schema").as_string(), "new");
+    ASSERT_EQ(after.rows.size(), 1u);
+    EXPECT_EQ(after.rows[0].at("index").as_i64(), 7);
+    EXPECT_FALSE(std::ifstream(tmp).good()) << "tmp must be renamed away";
+
+    // The renamed stream keeps appending to the published file.
+    writer.append_row("{\"index\": 8}");
+    writer.flush();
+  }
+  const auto final_file = resilience::load_checkpoint(path);
+  ASSERT_EQ(final_file.rows.size(), 2u);
+  EXPECT_EQ(final_file.rows[1].at("index").as_i64(), 8);
+
+  // An unpublished writer cleans up its temporary and leaves the
+  // original authoritative.
+  {
+    resilience::CheckpointWriter writer(path, "{\"schema\": \"later\"}", 1,
+                                        /*replace_atomically=*/true);
+    writer.append_row("{\"index\": 9}");
+  }
+  EXPECT_FALSE(std::ifstream(tmp).good());
+  EXPECT_EQ(resilience::load_checkpoint(path).rows.size(), 2u);
   std::remove(path.c_str());
 }
 
