@@ -18,12 +18,24 @@
 //                  [--deadline-ticks D] [--inject-failures R]
 //                  [--inject-seed S] [--max-cell-bytes B]
 //                  [--checkpoint path.jsonl] [--checkpoint-every K]
-//                  [--resume] [--out report.json]
+//                  [--cache-bytes B] [--resume] [--out report.json]
+//   fmmio serve    [--threads T] [--queue Q] [--cache-bytes B]
+//                  [--cache-shards S] [--deadline-ticks D]
+//                  [--socket PATH] [--out report.json]
+//   fmmio query    --op OP [--id I] [--alg A] [--n N] [--m M] [--p P]
+//                  [--schedule dfs|bfs|random] [--policy lru|opt]
+//                  [--remat] [--seed S] [--connect SOCKET] [--print]
+//   fmmio version
 //
 // Algorithms: strassen, winograd, strassen-dual, strassen-perm,
 //             winograd-dual, classic; `sweep` additionally accepts
 //             strassen-squared and the alternative-basis variants
 //             strassen-alt / winograd-alt (docs/SWEEPS.md).
+//
+// `serve` answers newline-delimited JSON queries on stdin (or a Unix
+// socket) through a content-addressed CDAG/result cache; `query`
+// composes one request and either answers it in-process (same cache
+// code path) or sends it to a running daemon (docs/SERVICE.md).
 //
 // --out writes a versioned JSON run report (docs/OBSERVABILITY.md);
 // --trace (or --out with tracing compiled in) writes a Chrome
@@ -35,6 +47,12 @@
 #include <sstream>
 #include <string>
 #include <thread>
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 
 #include "bilinear/catalog.hpp"
 #include "bounds/dominator_cert.hpp"
@@ -48,6 +66,7 @@
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
@@ -58,6 +77,7 @@
 #include "pebble/schedules.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
+#include "service/service.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -712,7 +732,21 @@ int cmd_sweep(const Args& args) {
     usage_error("sweep: --resume needs --checkpoint PATH to load from");
   }
 
-  const sweep::SweepResult result = sweep::run_sweep(spec);
+  // Sweep cells fetch their CDAGs through the service content cache —
+  // the same code path `fmmio serve` and `fmmio query` answer from
+  // (docs/SERVICE.md).  Cache state must not change the payload, so
+  // --cache-bytes is not part of the deterministic spec.
+  const std::int64_t cache_bytes =
+      args.get_int("cache-bytes", 256ll << 20);
+  if (cache_bytes < 0) {
+    usage_error("sweep: --cache-bytes must be >= 0 (0 = no retention), "
+                "got " + std::to_string(cache_bytes));
+  }
+  service::CacheConfig cache_config;
+  cache_config.memory_budget_bytes = static_cast<std::size_t>(cache_bytes);
+  service::ContentCache cache(cache_config);
+  service::CachingCdagSource cdag_source(cache);
+  const sweep::SweepResult result = sweep::run_sweep(spec, cdag_source);
 
   std::printf("sweep: %zu tasks on %zu thread(s) in %.3fs\n",
               result.num_tasks,
@@ -777,14 +811,208 @@ int cmd_sweep(const Args& args) {
   return result.failed == 0 ? 0 : 1;
 }
 
+service::ServiceConfig service_config_from(const Args& args,
+                                           const char* command) {
+  service::ServiceConfig config;
+  const std::int64_t threads = args.get_int("threads", 0);
+  if (threads < 0) {
+    usage_error(std::string(command) + ": --threads must be >= 0 (0 = "
+                "hardware concurrency), got " + std::to_string(threads));
+  }
+  config.num_threads = static_cast<std::size_t>(threads);
+  const std::int64_t queue = args.get_int("queue", 256);
+  if (queue < 0) {
+    usage_error(std::string(command) + ": --queue must be >= 0, got " +
+                std::to_string(queue));
+  }
+  config.max_queue = static_cast<std::size_t>(queue);
+  const std::int64_t cache_bytes =
+      args.get_int("cache-bytes", 256ll << 20);
+  if (cache_bytes < 0) {
+    usage_error(std::string(command) + ": --cache-bytes must be >= 0 "
+                "(0 = no retention), got " + std::to_string(cache_bytes));
+  }
+  config.cache.memory_budget_bytes =
+      static_cast<std::size_t>(cache_bytes);
+  const std::int64_t shards = args.get_int("cache-shards", 8);
+  if (shards < 1) {
+    usage_error(std::string(command) + ": --cache-shards must be >= 1, "
+                "got " + std::to_string(shards));
+  }
+  config.cache.shards = static_cast<std::size_t>(shards);
+  config.deadline_ticks = args.get_int("deadline-ticks", 0);
+  if (config.deadline_ticks < 0) {
+    usage_error(std::string(command) + ": --deadline-ticks must be >= 0 "
+                "(0 = no deadline), got " +
+                std::to_string(config.deadline_ticks));
+  }
+  return config;
+}
+
+int cmd_serve(const Args& args) {
+  const obs::ReportCli cli = report_cli_from(args);
+  obs::Registry::instance().reset();
+  service::QueryService service(service_config_from(args, "serve"));
+  bool shutdown = false;
+  if (args.has("socket")) {
+#ifdef __unix__
+    shutdown = service.serve_unix_socket(args.get("socket", ""));
+#else
+    usage_error("serve: --socket needs a Unix platform; use stdin mode");
+#endif
+  } else {
+    shutdown = service.serve(std::cin, std::cout);
+  }
+  if (cli.wants_report() || !cli.trace_path.empty()) {
+    obs::RunReport report("fmmio.serve");
+    report.set_param("threads",
+                     static_cast<std::int64_t>(
+                         service.config().num_threads));
+    report.set_param("queue",
+                     static_cast<std::int64_t>(service.config().max_queue));
+    report.set_param(
+        "cache_bytes",
+        static_cast<std::int64_t>(
+            service.config().cache.memory_budget_bytes));
+    report.set_param("deadline_ticks", service.config().deadline_ticks);
+    report.set_result("shutdown_requested", shutdown);
+    service.attach_to(report);
+    obs::finalize_run(cli, report);
+  }
+  return 0;
+}
+
+/// Builds one request line from --op/--id/--alg/... flags.  Validation
+/// happens in parse_request, exactly as for a network client.
+std::string compose_request(const Args& args) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  const auto field = [&](const std::string& key, const std::string& value,
+                         bool quote) {
+    os << (first ? "" : ", ") << "\"" << key << "\": ";
+    if (quote) {
+      os << "\"" << value << "\"";
+    } else {
+      os << value;
+    }
+    first = false;
+  };
+  if (args.has("id")) {
+    field("id", args.get("id", ""), false);
+  }
+  field("op", args.get("op", ""), true);
+  if (args.has("alg")) {
+    field("algorithm", args.get("alg", ""), true);
+  }
+  for (const char* key : {"n", "m", "p", "seed"}) {
+    if (args.has(key)) {
+      field(key, args.get(key, ""), false);
+    }
+  }
+  for (const char* key : {"schedule", "policy"}) {
+    if (args.has(key)) {
+      field(key, args.get(key, ""), true);
+    }
+  }
+  if (args.has("remat")) {
+    field("remat", "true", false);
+  }
+  os << "}";
+  return os.str();
+}
+
+#ifdef __unix__
+/// Sends one request line to a serving daemon's Unix socket and returns
+/// the one response line.
+std::string query_over_socket(const std::string& path,
+                              const std::string& line) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    usage_error("query: cannot create socket");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    close(fd);
+    usage_error("query: socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    close(fd);
+    usage_error("query: cannot connect to " + path +
+                " (is `fmmio serve --socket` running?)");
+  }
+  const std::string request = line + "\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t wrote =
+        write(fd, request.data() + sent, request.size() - sent);
+    if (wrote <= 0) {
+      close(fd);
+      usage_error("query: send failed");
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  std::string response;
+  char ch = 0;
+  while (read(fd, &ch, 1) == 1 && ch != '\n') {
+    response.push_back(ch);
+  }
+  close(fd);
+  return response;
+}
+#endif
+
+int cmd_query(const Args& args) {
+  if (!args.has("op")) {
+    std::fprintf(stderr,
+                 "usage: fmmio query --op <ping|version|stats|bound|"
+                 "simulate|liveness|cdag|shutdown> [--id I] [--alg A] "
+                 "[--n N] [--m M] [--p P] [--schedule S] [--policy P] "
+                 "[--remat] [--seed S] [--connect SOCKET] [--print]\n");
+    return 2;
+  }
+  const std::string line = compose_request(args);
+  if (args.has("print")) {
+    // Compose-only mode: emit the request line for scripted sessions
+    // (pipe several into `fmmio serve`).
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  std::string response;
+  if (args.has("connect")) {
+#ifdef __unix__
+    response = query_over_socket(args.get("connect", ""), line);
+#else
+    usage_error("query: --connect needs a Unix platform");
+#endif
+  } else {
+    // In-process single shot: the same parse/cache/compute path the
+    // daemon runs, so one-off queries and served queries cannot drift.
+    service::ServiceConfig config = service_config_from(args, "query");
+    config.num_threads = 1;
+    service::QueryService service(config);
+    response = service.handle_line(line);
+  }
+  std::printf("%s\n", response.c_str());
+  // Exit code mirrors the response verdict for scripting.
+  return response.find("\"ok\": true") != std::string::npos ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.positional.empty() && args.has("version")) {
+    std::printf("%s\n", obs::build_info_line().c_str());
+    return 0;
+  }
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: fmmio <list|certify|bounds|simulate|cdag|parallel|"
-                 "sweep> [args]\n");
+                 "sweep|serve|query|version> [args]\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -796,6 +1024,12 @@ int main(int argc, char** argv) {
     if (command == "cdag") return cmd_cdag(args);
     if (command == "parallel") return cmd_parallel(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "version") {
+      std::printf("%s\n", obs::build_info_line().c_str());
+      return 0;
+    }
   } catch (const fmm::CheckError& e) {
     FMM_LOG_ERROR(e.what());
     return 1;

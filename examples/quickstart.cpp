@@ -1,4 +1,4 @@
-// Quickstart: the library in five steps.
+// Quickstart: the library in six steps.
 //
 //   1. Pick a fast matrix-multiplication algorithm from the catalog and
 //      certify it (exact Brent equations).
@@ -8,9 +8,12 @@
 //   4. Simulate an execution on a two-level memory and measure I/O.
 //   5. Compare the measurement with the paper's lower bound — with and
 //      without recomputation.
+//   6. Ask the same questions through the query service — warm answers
+//      come from the content-addressed cache, byte-identical to cold.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <string>
 
 #include "bilinear/catalog.hpp"
 #include "bilinear/executor.hpp"
@@ -20,6 +23,7 @@
 #include "linalg/matmul.hpp"
 #include "pebble/machine.hpp"
 #include "pebble/schedules.hpp"
+#include "service/service.hpp"
 
 int main() {
   using namespace fmm;
@@ -87,5 +91,22 @@ int main() {
               static_cast<double>(recomputed.total_io()) / bound);
   std::printf("\nThat is the paper's result: recomputation cannot beat "
               "Omega((n/sqrt(M))^{log2 7} M).\n");
+
+  // 6. The same stack as a query service (what `fmmio serve` runs).
+  //    The first answer builds and caches; the repeat is a cache hit —
+  //    and the protocol guarantees the bytes are identical either way.
+  service::ServiceConfig service_config;
+  service_config.num_threads = 1;
+  service::QueryService service(service_config);
+  const std::string query =
+      "{\"op\": \"simulate\", \"algorithm\": \"strassen\", \"n\": 16, "
+      "\"m\": 64}";
+  const std::string cold_answer = service.handle_line(query);
+  const std::string warm_answer = service.handle_line(query);
+  std::printf("\nQuery service (docs/SERVICE.md):\n  %s\n  -> %s\n",
+              query.c_str(), cold_answer.c_str());
+  std::printf("  warm repeat byte-identical: %s (cache hits: %lld)\n",
+              warm_answer == cold_answer ? "yes" : "NO",
+              static_cast<long long>(service.cache().stats().hits));
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -180,6 +181,7 @@ std::string RunReport::to_json() const {
   oss << "  \"name\": \"";
   json_escape(oss, name_);
   oss << "\",\n";
+  oss << "  \"meta\": {\"build\": " << build_info_json() << "},\n";
   write_section("params", params_);
   oss << ",\n";
   write_section("phases_sec", phases_);

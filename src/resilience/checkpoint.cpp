@@ -68,6 +68,12 @@ const JsonValue& JsonValue::at(const std::string& key) const {
   return *v;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  FMM_CHECK_MSG(kind_ == Kind::kObject, "json: not an object");
+  return members_;
+}
+
 /// Recursive-descent parser over the minimal JSON subset the repo's own
 /// serializers emit.  Not a general-purpose validator (no \uXXXX beyond
 /// pass-through, no depth limit) — its inputs are our own files.

@@ -53,6 +53,9 @@ class JsonValue {
   const JsonValue* find(const std::string& key) const;
   /// Object member lookup; throws CheckError when absent.
   const JsonValue& at(const std::string& key) const;
+  /// All object members in source order (throws if not an object) —
+  /// lets strict consumers reject unknown fields.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
 
  private:
   friend class JsonParser;

@@ -1,0 +1,109 @@
+// Newline-delimited JSON protocol of the query service.
+//
+// One request per line, one response per line, responses in request
+// order.  A request is a JSON object:
+//
+//   {"id": 4, "op": "simulate", "algorithm": "strassen", "n": 16,
+//    "m": 64, "schedule": "dfs", "policy": "lru", "remat": false,
+//    "seed": 1}
+//
+// Ops:
+//   ping      — liveness probe; result {"pong": true}.
+//   version   — build provenance (obs/build_info.hpp).
+//   stats     — session counters + cache stats (point-in-time).
+//   bound     — closed-form Theorem 1.1 bounds at (n, m, p).
+//   simulate  — pebble simulation of H^{n x n}; the result is exactly
+//               the sweep task row of a one-cell sweep (sweep.hpp),
+//               so serve, sweep and `fmmio simulate` share one code
+//               path and one determinism contract.
+//   liveness  — zero-spill working-set profile, same task-row form.
+//   cdag      — structure of H^{n x n} (vertices, edges, role counts).
+//   shutdown  — graceful drain: in-flight requests finish and are
+//               answered, then the session ends.
+//
+// Responses:  {"id": 4, "ok": true, "op": "simulate", "result": {...}}
+//         or  {"id": 4, "ok": false, "error": "usage_error: ..."}
+// (id is null when the request had none or did not parse).  Error
+// strings are single lines prefixed with a machine-readable class:
+// usage_error, rejected: queue_full, deadline_exceeded, internal_error.
+//
+// Determinism contract: for bound/simulate/liveness/cdag, the `result`
+// object is a pure function of the canonical request (id excluded) —
+// byte-identical regardless of cache state, thread count or request
+// interleaving.  ping/version/stats are control ops and exempt (stats
+// is inherently point-in-time).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fmm::service {
+
+inline constexpr const char* kServiceSchema = "fmm.service";
+inline constexpr int kServiceSchemaVersion = 1;
+
+enum class Op {
+  kPing,
+  kVersion,
+  kStats,
+  kBound,
+  kSimulate,
+  kLiveness,
+  kCdag,
+  kShutdown,
+};
+
+const char* op_name(Op op);
+
+/// A validated request.  Fields irrelevant to the op keep their
+/// defaults and are excluded from the canonical echo.
+struct Request {
+  bool has_id = false;
+  std::int64_t id = 0;
+  Op op = Op::kPing;
+  std::string algorithm = "strassen";
+  std::size_t n = 0;
+  std::int64_t m = 0;
+  std::int64_t p = 1;           // bound only
+  std::string schedule = "dfs";  // simulate only
+  std::string policy = "lru";    // simulate only
+  bool remat = false;            // simulate only
+  std::uint64_t seed = 1;        // simulate (random schedule) only
+};
+
+/// Malformed request.  what() is the complete one-line error string
+/// ("usage_error: ..."), ready to embed in an error response.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses and validates one request line; throws ProtocolError with a
+/// one-line usage_error message on any problem (unknown op or field,
+/// non-power-of-two n, missing required field, trailing garbage).
+Request parse_request(const std::string& line);
+
+/// The canonical JSON echo of a request: deterministic field order,
+/// id EXCLUDED, only op-relevant fields included.  Two requests with
+/// equal canonical echoes are the same query — this string is the
+/// result-cache key preimage (ContentCache::result_key).
+std::string canonical_request(const Request& request);
+
+/// True for ops whose result payload obeys the determinism contract and
+/// is therefore result-cacheable (bound/simulate/liveness/cdag).
+bool op_is_cacheable(Op op);
+
+/// True for ops that need the (algorithm, n) CDAG built.
+bool op_needs_cdag(Op op);
+
+/// Renders a success response envelope around an already-rendered
+/// result object.
+std::string ok_response(const Request& request, const std::string& result);
+
+/// Renders an error response; `message` must already carry its class
+/// prefix ("usage_error: ...").  When has_id is false, id renders null.
+std::string error_response(bool has_id, std::int64_t id,
+                           const std::string& message);
+
+}  // namespace fmm::service

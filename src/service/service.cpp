@@ -1,0 +1,556 @@
+#include "service/service.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "bounds/formulas.hpp"
+#include "cdag/builder.hpp"
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/math_util.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <streambuf>
+#endif
+
+namespace fmm::service {
+
+namespace {
+
+void write_double(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  os << buf;
+}
+
+bool blank(const std::string& line) {
+  for (const char ch : line) {
+    if (ch != ' ' && ch != '\t' && ch != '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const cdag::Cdag> CachingCdagSource::get_cdag(
+    const std::string& algorithm, std::size_t n) {
+  return cache_.get_or_build_cdag(
+      ContentCache::cdag_key(algorithm, n), [&] {
+        return cdag::build_cdag(sweep::resolve_algorithm(algorithm), n);
+      });
+}
+
+QueryService::QueryService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache),
+      cdag_source_(cache_),
+      pool_(config.num_threads) {}
+
+void QueryService::record_request() {
+  const std::scoped_lock lock(stats_mutex_);
+  ++totals_.requests;
+}
+
+void QueryService::record_response(const std::string& op, bool is_ok) {
+  const std::scoped_lock lock(stats_mutex_);
+  ++totals_.responded;
+  OpStats& row = per_op_[op];
+  ++row.requests;
+  if (is_ok) {
+    ++totals_.ok;
+    ++row.ok;
+  } else {
+    ++totals_.errors;
+    ++row.errors;
+  }
+}
+
+std::int64_t QueryService::estimated_cost_ticks(
+    const Request& request) const {
+  if (!op_needs_cdag(request.op)) {
+    return 1;
+  }
+  // Upper bound on |V(H^{n x n})| for base-2 algorithms with t <= 8
+  // products: 8 · 8^{log2 n}.  Purely arithmetic — the verdict for a
+  // (config, request) pair never depends on load or wall-clock.
+  try {
+    const int levels = ilog2_floor(static_cast<std::uint64_t>(request.n));
+    return checked_mul(checked_pow(8, levels), 8);
+  } catch (const CheckError&) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+}
+
+std::string QueryService::control_response(const Request& request) {
+  std::string result;
+  switch (request.op) {
+    case Op::kPing:
+      result = "{\"pong\": true}";
+      break;
+    case Op::kVersion:
+      result = obs::build_info_json();
+      break;
+    case Op::kStats: {
+      const ServiceStats totals = stats();
+      const CacheStats cache_stats = cache_.stats();
+      std::ostringstream os;
+      os << "{\"requests\": " << totals.requests
+         << ", \"responded\": " << totals.responded
+         << ", \"ok\": " << totals.ok << ", \"errors\": " << totals.errors
+         << ", \"rejected_queue_full\": " << totals.rejected_queue_full
+         << ", \"deadline_exceeded\": " << totals.deadline_exceeded
+         << ", \"cache\": {\"hits\": " << cache_stats.hits
+         << ", \"misses\": " << cache_stats.misses
+         << ", \"evictions\": " << cache_stats.evictions
+         << ", \"entries\": " << cache_stats.entries
+         << ", \"bytes\": " << cache_stats.bytes << "}}";
+      result = os.str();
+      break;
+    }
+    default:
+      FMM_CHECK_MSG(false, "not a control op");
+  }
+  record_response(op_name(request.op), true);
+  return ok_response(request, result);
+}
+
+std::optional<std::string> QueryService::pre_compute_response(
+    const Request& request, bool* is_shutdown) {
+  if (request.op == Op::kShutdown) {
+    *is_shutdown = true;
+    record_response(op_name(request.op), true);
+    return ok_response(request, "{\"draining\": true}");
+  }
+  if (!op_is_cacheable(request.op)) {
+    return control_response(request);
+  }
+  if (config_.deadline_ticks > 0) {
+    const std::int64_t cost = estimated_cost_ticks(request);
+    if (cost > config_.deadline_ticks) {
+      {
+        const std::scoped_lock lock(stats_mutex_);
+        ++totals_.deadline_exceeded;
+      }
+      record_response(op_name(request.op), false);
+      return error_response(
+          request.has_id, request.id,
+          "deadline_exceeded: estimated cost " + std::to_string(cost) +
+              " ticks exceeds deadline " +
+              std::to_string(config_.deadline_ticks));
+    }
+  }
+  return std::nullopt;
+}
+
+std::string QueryService::compute_result(const Request& request) {
+  switch (request.op) {
+    case Op::kBound: {
+      const bounds::MmParams params{static_cast<double>(request.n),
+                                    static_cast<double>(request.m),
+                                    static_cast<double>(request.p)};
+      std::ostringstream os;
+      os << "{\"classic_memory_dependent\": ";
+      write_double(os, bounds::classic_memory_dependent(params));
+      os << ", \"classic_memory_independent\": ";
+      write_double(os, bounds::classic_memory_independent(params));
+      os << ", \"fast_memory_dependent\": ";
+      write_double(os, bounds::fast_memory_dependent(params, kOmega0));
+      os << ", \"fast_memory_independent\": ";
+      write_double(os, bounds::fast_memory_independent(params, kOmega0));
+      os << ", \"fast_parallel\": ";
+      write_double(os, bounds::fast_parallel_bound(params, kOmega0));
+      if (request.p > 1) {
+        os << ", \"crossover_p\": ";
+        write_double(os,
+                     bounds::parallel_crossover_p(
+                         static_cast<double>(request.n),
+                         static_cast<double>(request.m), kOmega0));
+      }
+      os << "}";
+      return os.str();
+    }
+    case Op::kSimulate:
+    case Op::kLiveness: {
+      // The result IS a one-cell sweep task row: serve, `fmmio sweep`
+      // and `fmmio simulate` answer through the same run_task path, so
+      // the byte-identity contract is sweep's existing determinism.
+      sweep::SweepSpec spec;
+      spec.algorithms = {request.algorithm};
+      spec.n_grid = {request.n};
+      spec.m_grid = {request.m};
+      spec.kinds = {request.op == Op::kLiveness
+                        ? sweep::TaskKind::kLiveness
+                        : sweep::TaskKind::kSimulate};
+      spec.schedule = request.schedule == "bfs"
+                          ? sweep::SchedulePolicy::kBfs
+                      : request.schedule == "random"
+                          ? sweep::SchedulePolicy::kRandom
+                          : sweep::SchedulePolicy::kDfs;
+      if (request.policy == "opt") {
+        spec.replacement = pebble::ReplacementPolicy::kBelady;
+      }
+      spec.remat = request.remat;
+      spec.base_seed = request.seed;
+      const std::vector<sweep::TaskCell> cells =
+          sweep::enumerate_tasks(spec);
+      FMM_CHECK_MSG(cells.size() == 1, "one-cell spec enumerated "
+                                           << cells.size() << " cells");
+      const std::shared_ptr<const cdag::Cdag> cdag =
+          cdag_source_.get_cdag(request.algorithm, request.n);
+      const sweep::TaskResult row =
+          sweep::run_task(cells[0], *cdag, spec);
+      return sweep::task_row_json(row);
+    }
+    case Op::kCdag: {
+      const std::shared_ptr<const cdag::Cdag> cdag =
+          cdag_source_.get_cdag(request.algorithm, request.n);
+      std::ostringstream os;
+      os << "{\"algorithm\": \"" << cdag->algorithm_name << "\""
+         << ", \"n\": " << cdag->n
+         << ", \"vertices\": " << cdag->graph.num_vertices()
+         << ", \"edges\": " << cdag->graph.num_edges()
+         << ", \"memory_bytes\": " << cdag_memory_bytes(*cdag)
+         << ", \"roles\": {";
+      bool first = true;
+      for (const auto& [role, count] : cdag->role_histogram()) {
+        os << (first ? "" : ", ") << "\"" << cdag::role_name(role)
+           << "\": " << count;
+        first = false;
+      }
+      os << "}, \"subproblem_levels\": [";
+      for (std::size_t i = 0; i < cdag->subproblem_levels.size(); ++i) {
+        const cdag::SubproblemLevel& level = cdag->subproblem_levels[i];
+        os << (i == 0 ? "" : ", ") << "{\"r\": " << level.r
+           << ", \"count\": " << level.count << "}";
+      }
+      os << "]}";
+      return os.str();
+    }
+    default:
+      FMM_CHECK_MSG(false,
+                    "op " << op_name(request.op) << " is not computable");
+  }
+  return {};
+}
+
+std::string QueryService::compute_response(const Request& request) {
+  FMM_TRACE_SPAN("service.request", "service");
+  try {
+    const std::string key =
+        ContentCache::result_key(canonical_request(request));
+    if (const auto cached = cache_.get_payload(key)) {
+      record_response(op_name(request.op), true);
+      return ok_response(request, *cached);
+    }
+    std::string result = compute_result(request);
+    cache_.put_payload(key, result);
+    record_response(op_name(request.op), true);
+    return ok_response(request, result);
+  } catch (const std::exception& e) {
+    record_response(op_name(request.op), false);
+    return error_response(request.has_id, request.id,
+                          std::string("internal_error: ") + e.what());
+  }
+}
+
+std::string QueryService::handle_line(const std::string& line) {
+  record_request();
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    record_response("invalid", false);
+    return error_response(false, 0, e.what());
+  }
+  bool is_shutdown = false;
+  if (auto response = pre_compute_response(request, &is_shutdown)) {
+    return *response;
+  }
+  return compute_response(request);
+}
+
+bool QueryService::serve(std::istream& in, std::ostream& out) {
+  FMM_TRACE_SPAN("service.serve", "service");
+
+  // Ordered emission: every admitted line gets a sequence number; a
+  // dedicated emitter writes ready responses strictly in that order, so
+  // concurrent compute on the pool never reorders the reply stream.
+  struct Emitter {
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    std::map<std::size_t, std::string> ready;
+    std::size_t next = 0;
+    std::size_t total = 0;
+    bool done_reading = false;
+  } emit;
+  std::thread emitter([&] {
+    std::unique_lock<std::mutex> lock(emit.mutex);
+    for (;;) {
+      emit.ready_cv.wait(lock, [&] {
+        return emit.ready.count(emit.next) > 0 ||
+               (emit.done_reading && emit.next >= emit.total);
+      });
+      const auto it = emit.ready.find(emit.next);
+      if (it == emit.ready.end()) {
+        return;  // done_reading and everything emitted
+      }
+      const std::string response = std::move(it->second);
+      emit.ready.erase(it);
+      ++emit.next;
+      lock.unlock();
+      out << response << '\n';
+      out.flush();  // clients block on replies; never batch them
+      lock.lock();
+    }
+  });
+  const auto deliver = [&emit](std::size_t seq, std::string response) {
+    {
+      const std::scoped_lock lock(emit.mutex);
+      emit.ready.emplace(seq, std::move(response));
+    }
+    emit.ready_cv.notify_all();
+  };
+
+  std::atomic<std::size_t> in_flight{0};
+  std::size_t seq = 0;
+  bool shutdown = false;
+  std::string line;
+  while (!shutdown && std::getline(in, line)) {
+    if (blank(line)) {
+      continue;
+    }
+    const std::size_t index = seq++;
+    record_request();
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const ProtocolError& e) {
+      record_response("invalid", false);
+      deliver(index, error_response(false, 0, e.what()));
+      continue;
+    }
+    if (auto response = pre_compute_response(request, &shutdown)) {
+      deliver(index, std::move(*response));
+      continue;
+    }
+    // Bounded admission: explicit backpressure beats an unbounded queue
+    // silently eating memory.  The rejection is still emitted in order.
+    if (in_flight.load(std::memory_order_acquire) >= config_.max_queue) {
+      {
+        const std::scoped_lock lock(stats_mutex_);
+        ++totals_.rejected_queue_full;
+      }
+      record_response(op_name(request.op), false);
+      deliver(index,
+              error_response(request.has_id, request.id,
+                             "rejected: queue_full"));
+      continue;
+    }
+    in_flight.fetch_add(1, std::memory_order_acq_rel);
+    // deliver/in_flight are captured by reference: serve() joins the
+    // pool (wait_idle) before they go out of scope.
+    pool_.submit([this, &deliver, &in_flight, request, index] {
+      std::string response = compute_response(request);
+      in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      deliver(index, std::move(response));
+    });
+  }
+
+  // Graceful drain: no new admissions past this point; every admitted
+  // request finishes on the pool and reaches the client before return.
+  pool_.wait_idle();
+  {
+    const std::scoped_lock lock(emit.mutex);
+    emit.done_reading = true;
+    emit.total = seq;
+  }
+  emit.ready_cv.notify_all();
+  emitter.join();
+  out.flush();
+
+  auto& registry = obs::Registry::instance();
+  const ServiceStats totals = stats();
+  registry.gauge("service.requests").set(totals.requests);
+  registry.gauge("service.responded").set(totals.responded);
+  registry.gauge("service.rejected_queue_full")
+      .set(totals.rejected_queue_full);
+  registry.gauge("service.deadline_exceeded").set(totals.deadline_exceeded);
+  cache_.stats();  // refreshes the service.cache.* gauges
+  return shutdown;
+}
+
+ServiceStats QueryService::stats() const {
+  const std::scoped_lock lock(stats_mutex_);
+  return totals_;
+}
+
+std::string QueryService::service_json() const {
+  ServiceStats totals;
+  std::map<std::string, OpStats> per_op;
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    totals = totals_;
+    per_op = per_op_;
+  }
+  const CacheStats cache_stats = cache_.stats();
+  std::ostringstream os;
+  os << "{\n";
+  os << "      \"schema\": \"" << kServiceSchema << "\",\n";
+  os << "      \"schema_version\": " << kServiceSchemaVersion << ",\n";
+  os << "      \"requests\": " << totals.requests << ",\n";
+  os << "      \"responded\": " << totals.responded << ",\n";
+  os << "      \"ok\": " << totals.ok << ",\n";
+  os << "      \"errors\": " << totals.errors << ",\n";
+  os << "      \"rejected_queue_full\": " << totals.rejected_queue_full
+     << ",\n";
+  os << "      \"deadline_exceeded\": " << totals.deadline_exceeded
+     << ",\n";
+  os << "      \"cache\": {\"hits\": " << cache_stats.hits
+     << ", \"misses\": " << cache_stats.misses
+     << ", \"evictions\": " << cache_stats.evictions
+     << ", \"entries\": " << cache_stats.entries
+     << ", \"bytes\": " << cache_stats.bytes << "},\n";
+  os << "      \"ops\": [";
+  bool first = true;
+  for (const auto& [op, row] : per_op) {
+    os << (first ? "\n" : ",\n") << "        {\"op\": \"" << op
+       << "\", \"requests\": " << row.requests << ", \"ok\": " << row.ok
+       << ", \"errors\": " << row.errors << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n      ") << "]\n";
+  os << "    }";
+  return os.str();
+}
+
+void QueryService::attach_to(obs::RunReport& report) const {
+  const ServiceStats totals = stats();
+  report.set_result("service_requests", totals.requests);
+  report.set_result("service_responded", totals.responded);
+  report.set_result("service_ok", totals.ok);
+  report.set_result("service_errors", totals.errors);
+  report.add_raw_section("service", service_json());
+}
+
+#ifdef __unix__
+
+namespace {
+
+/// Minimal bidirectional streambuf over a connected socket fd.
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+  ~FdStreambuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) {
+      return traits_type::to_int_type(*gptr());
+    }
+    const ssize_t got = ::read(fd_, in_, sizeof(in_));
+    if (got <= 0) {
+      return traits_type::eof();
+    }
+    setg(in_, in_, in_ + got);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_out() != 0) {
+      return traits_type::eof();
+    }
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t wrote = ::write(fd_, p, static_cast<std::size_t>(
+                                                pptr() - p));
+      if (wrote <= 0) {
+        return -1;
+      }
+      p += wrote;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+bool QueryService::serve_unix_socket(const std::string& path) {
+  const int server = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  FMM_CHECK_MSG(server >= 0, "service: cannot create unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(server);
+    FMM_CHECK_MSG(false, "service: socket path too long: " << path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(server, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(server, 8) != 0) {
+    ::close(server);
+    FMM_CHECK_MSG(false, "service: cannot bind/listen on " << path);
+  }
+  FMM_LOG_INFO("service: listening on " << path);
+  bool shutdown = false;
+  while (!shutdown) {
+    const int client = ::accept(server, nullptr, nullptr);
+    if (client < 0) {
+      break;
+    }
+    FdStreambuf buf(client);
+    std::istream client_in(&buf);
+    std::ostream client_out(&buf);
+    shutdown = serve(client_in, client_out);
+    client_out.flush();
+    ::close(client);
+  }
+  ::close(server);
+  ::unlink(path.c_str());
+  return shutdown;
+}
+
+#endif  // __unix__
+
+}  // namespace fmm::service

@@ -1,0 +1,168 @@
+// Long-running query engine over the certification stack.
+//
+// A QueryService owns a parallel::ThreadPool, a content-addressed
+// ContentCache (cache.hpp) and the session tallies behind the
+// `extra.service` run-report section.  Requests arrive as
+// newline-delimited JSON (protocol.hpp) on any istream — stdin under
+// `fmmio serve`, a Unix-domain socket connection under
+// `fmmio serve --socket` — and responses are emitted IN REQUEST ORDER
+// even though compute requests run concurrently on the pool.
+//
+// Flow of one compute request (bound/simulate/liveness/cdag):
+//
+//   parse → deadline check → admission check → pool dispatch →
+//   result-cache lookup → (miss: CDAG fetch through the cache +
+//   compute + render + retain) → ordered emission
+//
+// Deadlines ride the repo's resilience virtual clock philosophy
+// (resilience/retry.hpp): a request's cost is ESTIMATED in deterministic
+// ticks (8·8^log2(n) — an upper bound on the vertex count of H^{n x n}
+// for base-2 algorithms with ≤ 8 products; 1 for closed-form ops) and
+// compared against deadline_ticks at admission.  No wall-clock is ever
+// consulted, so a given (config, request) pair always gets the same
+// deadline_exceeded verdict — deterministic, testable backpressure.
+//
+// Admission is bounded: when max_queue compute requests are already
+// queued-or-running, new ones are answered `rejected: queue_full`
+// immediately (still in order) instead of growing an unbounded queue.
+//
+// Shutdown (op or EOF) drains gracefully: admitted requests finish on
+// the pool and every response is emitted before serve() returns — no
+// in-flight request is ever dropped.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "obs/run_report.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "sweep/sweep.hpp"
+
+namespace fmm::service {
+
+/// sweep::CdagSource backed by the service cache, so sweep cells, serve
+/// requests and single-shot subcommands share one content-addressed
+/// store of frozen CDAGs (and one build code path).
+class CachingCdagSource final : public sweep::CdagSource {
+ public:
+  explicit CachingCdagSource(ContentCache& cache) : cache_(cache) {}
+
+  std::shared_ptr<const cdag::Cdag> get_cdag(const std::string& algorithm,
+                                             std::size_t n) override;
+
+ private:
+  ContentCache& cache_;
+};
+
+struct ServiceConfig {
+  /// Pool workers; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  /// Max compute requests queued-or-running before new ones are
+  /// answered `rejected: queue_full` (0 rejects every compute request —
+  /// the deterministic backpressure test uses that).
+  std::size_t max_queue = 256;
+  /// Content cache sizing; cache.memory_budget_bytes = 0 disables
+  /// retention (every request recomputes — the bench's cold arm).
+  CacheConfig cache;
+  /// Virtual-clock deadline per request in ticks; 0 = no deadline.
+  std::int64_t deadline_ticks = 0;
+};
+
+/// Session tallies for stats responses and the extra.service report.
+struct ServiceStats {
+  std::int64_t requests = 0;   // non-blank lines admitted for parsing
+  std::int64_t responded = 0;  // responses rendered (== requests after drain)
+  std::int64_t ok = 0;
+  std::int64_t errors = 0;
+  std::int64_t rejected_queue_full = 0;
+  std::int64_t deadline_exceeded = 0;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Parses, executes and answers one request line synchronously —
+  /// the in-process entry point (tests, quickstart).  Never throws:
+  /// every outcome is a response string (no trailing newline).
+  std::string handle_line(const std::string& line);
+
+  /// NDJSON session: reads request lines from `in` until EOF or a
+  /// shutdown op, dispatching compute requests onto the pool, and
+  /// writes one response line per request to `out` in request order.
+  /// Drains gracefully before returning.  Returns true iff the session
+  /// ended via the shutdown op (vs EOF).
+  bool serve(std::istream& in, std::ostream& out);
+
+#ifdef __unix__
+  /// Binds a Unix-domain stream socket at `path` and serves one
+  /// accepted connection at a time (same cache/pool/tallies across
+  /// connections) until a client sends shutdown.  Returns true iff
+  /// stopped by shutdown (vs accept failure).
+  bool serve_unix_socket(const std::string& path);
+#endif
+
+  ContentCache& cache() { return cache_; }
+  sweep::CdagSource& cdag_source() { return cdag_source_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Point-in-time session tallies.
+  ServiceStats stats() const;
+
+  /// The versioned `extra.service` section (schema fmm.service v1):
+  /// totals, cache stats, and per-op rows the totals re-derive from.
+  std::string service_json() const;
+
+  /// Embeds service_json() under extra.service and records headline
+  /// results (service_requests/service_ok/...).
+  void attach_to(obs::RunReport& report) const;
+
+ private:
+  struct OpStats {
+    std::int64_t requests = 0;
+    std::int64_t ok = 0;
+    std::int64_t errors = 0;
+  };
+
+  /// Tally one admitted request line (before any response exists).
+  void record_request();
+  /// Tally one rendered response for `op` ("invalid" for parse
+  /// failures).
+  void record_response(const std::string& op, bool is_ok);
+
+  /// ping/version/stats — cheap, inline, exempt from determinism.
+  std::string control_response(const Request& request);
+  /// bound/simulate/liveness/cdag through the result cache; catches
+  /// everything into internal_error responses.  Tallies the response.
+  std::string compute_response(const Request& request);
+  /// Renders the deterministic result object (cache miss path).
+  std::string compute_result(const Request& request);
+  /// Deterministic virtual-clock cost estimate of a request.
+  std::int64_t estimated_cost_ticks(const Request& request) const;
+  /// Everything except pool-dispatched compute: shutdown, control ops
+  /// and virtual-clock deadline rejection.  Returns the tallied
+  /// response, or nullopt when the request needs compute_response.
+  /// Sets *is_shutdown for the shutdown op.
+  std::optional<std::string> pre_compute_response(const Request& request,
+                                                  bool* is_shutdown);
+
+  ServiceConfig config_;
+  ContentCache cache_;
+  CachingCdagSource cdag_source_;
+  parallel::ThreadPool pool_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats totals_;
+  std::map<std::string, OpStats> per_op_;
+};
+
+}  // namespace fmm::service

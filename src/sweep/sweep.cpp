@@ -589,7 +589,60 @@ std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
   return rows;
 }
 
+std::shared_ptr<const cdag::Cdag> BuildingCdagSource::get_cdag(
+    const std::string& algorithm, std::size_t n) {
+  const Key key{algorithm, n};
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = built_.find(key);
+    if (it != built_.end()) {
+      return it->second;
+    }
+    if (!building_.count(key)) {
+      break;
+    }
+    // Single-flight: another thread is mid-build for this key; waiting
+    // beats duplicating a potentially multi-second CDAG construction.
+    // If that build throws, waiters wake to neither built nor building
+    // and retry it themselves.
+    build_done_.wait(lock);
+  }
+  building_.insert(key);
+  try {
+    auto alg_it = algorithms_.find(algorithm);
+    if (alg_it == algorithms_.end()) {
+      // resolve_algorithm can be expensive (-alt runs a basis search);
+      // drop the lock so other keys keep building meanwhile.
+      lock.unlock();
+      bilinear::BilinearAlgorithm resolved = resolve_algorithm(algorithm);
+      lock.lock();
+      alg_it = algorithms_.emplace(algorithm, std::move(resolved)).first;
+    }
+    const bilinear::BilinearAlgorithm alg = alg_it->second;
+    lock.unlock();
+    auto built =
+        std::make_shared<const cdag::Cdag>(cdag::build_cdag(alg, n));
+    lock.lock();
+    built_.emplace(key, built);
+    building_.erase(key);
+    build_done_.notify_all();
+    return built;
+  } catch (...) {
+    if (!lock.owns_lock()) {
+      lock.lock();
+    }
+    building_.erase(key);
+    build_done_.notify_all();
+    throw;
+  }
+}
+
 SweepResult run_sweep(const SweepSpec& spec) {
+  BuildingCdagSource source;
+  return run_sweep(spec, source);
+}
+
+SweepResult run_sweep(const SweepSpec& spec, CdagSource& cdag_source) {
   FMM_TRACE_SPAN("sweep.run", "sweep");
   Stopwatch watch;
   resilience::validate(spec.retry);
@@ -647,10 +700,12 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   parallel::ThreadPool pool(spec.num_threads);
 
-  // Build one frozen CDAG per distinct (algorithm, n), sharded across the
-  // pool; every task of that cell shares it read-only afterwards.  Under
-  // a memory budget, a cell whose estimated footprint exceeds it is not
-  // built at all — its rows degrade to skipped(budget) below.
+  // Fetch one frozen CDAG per distinct (algorithm, n) through the
+  // source, sharded across the pool (the source single-flights duplicate
+  // keys; a warm service cache returns instantly); every task of that
+  // cell shares it read-only afterwards.  Under a memory budget, a cell
+  // whose estimated footprint exceeds it is not fetched at all — its
+  // rows degrade to skipped(budget) below.
   std::vector<std::pair<std::string, std::size_t>> keys;
   std::map<std::pair<std::string, std::size_t>, std::size_t> key_index;
   for (const TaskCell& cell : cells) {
@@ -666,7 +721,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
       key_needed[key_index.at({cell.algorithm, cell.n})] = 1;
     }
   }
-  std::vector<cdag::Cdag> cdags(keys.size());
+  std::vector<std::shared_ptr<const cdag::Cdag>> cdags(keys.size());
   std::vector<std::string> build_errors(keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
     if (!key_needed[i]) {
@@ -680,8 +735,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     }
     pool.submit([&, i] {
       try {
-        cdags[i] = cdag::build_cdag(algorithms.at(keys[i].first),
-                                    keys[i].second);
+        cdags[i] = cdag_source.get_cdag(keys[i].first, keys[i].second);
       } catch (const std::exception& e) {
         build_errors[i] = e.what();
       }
@@ -694,12 +748,13 @@ SweepResult run_sweep(const SweepSpec& spec) {
                       << keys[i].first << " n=" << keys[i].second << ": "
                       << build_errors[i]);
     // The estimate is a heuristic; the measured footprint is the
-    // authority.  Release an over-budget graph immediately.
+    // authority.  Release this sweep's reference to an over-budget
+    // graph immediately (a caching source may keep its own).
     if (key_needed[i] && !over_budget[i] && spec.max_cell_bytes > 0 &&
-        static_cast<std::int64_t>(cdags[i].graph.memory_bytes()) >
+        static_cast<std::int64_t>(cdags[i]->graph.memory_bytes()) >
             spec.max_cell_bytes) {
       over_budget[i] = 1;
-      cdags[i] = cdag::Cdag{};
+      cdags[i].reset();
     }
   }
 
@@ -731,7 +786,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
       }
       continue;
     }
-    const cdag::Cdag& cdag = cdags[key];
+    const cdag::Cdag& cdag = *cdags[key];
     pool.submit([&, cell] {
       TaskResult& slot = result.tasks[cell.index];
       if (cancel.cancelled()) {

@@ -36,8 +36,14 @@
 // are, like num_threads, NOT part of the deterministic payload.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bilinear/algorithm.hpp"
@@ -253,8 +259,53 @@ void write_sweep_checkpoint(const std::string& path, const SweepSpec& spec,
 std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
                                               const SweepSpec& spec);
 
+/// Source of frozen CDAGs keyed by (algorithm name, n), shared read-only
+/// by every consumer.  Implementations must be thread-safe: the sweep
+/// engine calls get_cdag concurrently from pool workers, and the query
+/// service shares one source across concurrent requests.  The interface
+/// lives here (not in src/service/) because sweep links below service in
+/// the layer stack; service provides the bounded LRU implementation.
+class CdagSource {
+ public:
+  virtual ~CdagSource() = default;
+
+  /// The frozen CDAG for (algorithm, n), built on first use and returned
+  /// read-only thereafter.  Throws CheckError for unknown algorithm names
+  /// or failed builds.
+  virtual std::shared_ptr<const cdag::Cdag> get_cdag(
+      const std::string& algorithm, std::size_t n) = 0;
+};
+
+/// Build-on-first-use source with no eviction: each distinct
+/// (algorithm, n) is built exactly once (concurrent requests for the
+/// same key wait for the one in-flight build — single-flight) and kept
+/// alive for the source's lifetime.  run_sweep(spec) uses a fresh one
+/// per call; the query service swaps in its content-addressed LRU
+/// (service::CachingCdagSource) through the same interface.
+class BuildingCdagSource final : public CdagSource {
+ public:
+  std::shared_ptr<const cdag::Cdag> get_cdag(const std::string& algorithm,
+                                             std::size_t n) override;
+
+ private:
+  using Key = std::pair<std::string, std::size_t>;
+  std::mutex mutex_;
+  std::condition_variable build_done_;
+  std::set<Key> building_;
+  std::map<std::string, bilinear::BilinearAlgorithm> algorithms_;
+  std::map<Key, std::shared_ptr<const cdag::Cdag>> built_;
+};
+
 /// Runs the whole sweep on spec.num_threads workers.  Throws CheckError
 /// naming the failing cell's (algorithm, n, M) unless spec.keep_going.
+/// Equivalent to run_sweep(spec, source) with a fresh BuildingCdagSource.
 SweepResult run_sweep(const SweepSpec& spec);
+
+/// run_sweep against a caller-owned CDAG source: cells fetch their
+/// (algorithm, n) CDAG through `cdags` instead of building privately, so
+/// a warm service cache makes repeated sweeps skip every rebuild.  The
+/// deterministic payload (SweepResult::to_json) is byte-identical to the
+/// source-less overload regardless of the source's cache state.
+SweepResult run_sweep(const SweepSpec& spec, CdagSource& cdags);
 
 }  // namespace fmm::sweep

@@ -17,6 +17,8 @@
 #include "common/check.hpp"
 #include "pebble/machine.hpp"
 #include "pebble/schedules.hpp"
+#include "service/cache.hpp"
+#include "service/service.hpp"
 #include "sweep/sweep.hpp"
 
 namespace fmm::sweep {
@@ -42,6 +44,29 @@ TEST(SweepDeterminism, ByteIdenticalAcrossThreadCounts) {
     spec.num_threads = threads;
     EXPECT_EQ(run_sweep(spec).to_json(), serial)
         << "sweep report diverged at " << threads << " threads";
+  }
+}
+
+TEST(SweepDeterminism, CacheBackedSourceIsByteIdenticalToBuilding) {
+  // The engine must not care where CDAGs come from: the default
+  // BuildingCdagSource (ephemeral, per-sweep) and the service's
+  // content-addressed cache (shared, LRU-evicting) must yield the same
+  // report bytes at every thread count — even when the cache is so
+  // small that CDAGs are evicted and rebuilt mid-sweep.
+  SweepSpec spec = reference_spec();
+  spec.num_threads = 1;
+  const std::string reference = run_sweep(spec).to_json();
+  for (const std::size_t budget_mb : {0u, 256u}) {
+    service::CacheConfig cache_config;
+    cache_config.memory_budget_bytes = budget_mb << 20;
+    service::ContentCache cache(cache_config);
+    service::CachingCdagSource source(cache);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      spec.num_threads = threads;
+      EXPECT_EQ(run_sweep(spec, source).to_json(), reference)
+          << "cache budget " << budget_mb << " MiB diverged at " << threads
+          << " threads";
+    }
   }
 }
 
