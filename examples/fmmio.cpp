@@ -21,10 +21,13 @@
 //                  [--cache-bytes B] [--resume] [--out report.json]
 //   fmmio serve    [--threads T] [--queue Q] [--cache-bytes B]
 //                  [--cache-shards S] [--deadline-ticks D]
+//                  [--slow-ms MS] [--telemetry-ring N]
 //                  [--socket PATH] [--out report.json]
 //   fmmio query    --op OP [--id I] [--alg A] [--n N] [--m M] [--p P]
 //                  [--schedule dfs|bfs|random] [--policy lru|opt]
 //                  [--remat] [--seed S] [--connect SOCKET] [--print]
+//   fmmio metrics  [--connect SOCKET]
+//   fmmio tail     --connect SOCKET [--limit N] [--slow]
 //   fmmio version
 //
 // Algorithms: strassen, winograd, strassen-dual, strassen-perm,
@@ -36,6 +39,10 @@
 // socket) through a content-addressed CDAG/result cache; `query`
 // composes one request and either answers it in-process (same cache
 // code path) or sends it to a running daemon (docs/SERVICE.md).
+// `metrics` scrapes a daemon's Prometheus-style text exposition and
+// `tail` streams its recent-request / slow-query spans as NDJSON
+// (docs/OBSERVABILITY.md; `tools/fmm_top.py` builds a live dashboard
+// on the same two ops).
 //
 // --out writes a versioned JSON run report (docs/OBSERVABILITY.md);
 // --trace (or --out with tracing compiled in) writes a Chrome
@@ -75,6 +82,7 @@
 #include "pebble/liveness.hpp"
 #include "pebble/machine.hpp"
 #include "pebble/schedules.hpp"
+#include "resilience/checkpoint.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
 #include "service/service.hpp"
@@ -846,6 +854,18 @@ service::ServiceConfig service_config_from(const Args& args,
                 "(0 = no deadline), got " +
                 std::to_string(config.deadline_ticks));
   }
+  config.slow_ms = args.get_int("slow-ms", 100);
+  if (config.slow_ms < 0) {
+    usage_error(std::string(command) + ": --slow-ms must be >= 0 "
+                "(0 logs every request as slow), got " +
+                std::to_string(config.slow_ms));
+  }
+  const std::int64_t ring = args.get_int("telemetry-ring", 256);
+  if (ring < 1) {
+    usage_error(std::string(command) + ": --telemetry-ring must be >= 1, "
+                "got " + std::to_string(ring));
+  }
+  config.telemetry_ring = static_cast<std::size_t>(ring);
   return config;
 }
 
@@ -1001,6 +1021,127 @@ int cmd_query(const Args& args) {
   return response.find("\"ok\": true") != std::string::npos ? 0 : 1;
 }
 
+/// Re-serializes a parsed JsonValue onto one line — lets `tail` print
+/// daemon records as NDJSON without re-tracking the record schema here.
+void json_dump(const resilience::JsonValue& value, std::ostream& os) {
+  using resilience::JsonValue;
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      break;
+    case JsonValue::Kind::kBool:
+      os << (value.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber: {
+      const double d = value.as_double();
+      const auto i = static_cast<std::int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        os << i;
+      } else {
+        os << d;
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      os << '"';
+      for (const char ch : value.as_string()) {
+        if (ch == '"' || ch == '\\') {
+          os << '\\' << ch;
+        } else if (ch == '\n') {
+          os << "\\n";
+        } else {
+          os << ch;
+        }
+      }
+      os << '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& item : value.items()) {
+        os << (first ? "" : ", ");
+        json_dump(item, os);
+        first = false;
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        os << (first ? "" : ", ") << '"' << key << "\": ";
+        json_dump(member, os);
+        first = false;
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+/// Extracts `result` from a daemon response line, or exits loudly —
+/// shared by the metrics and tail scrape subcommands.
+resilience::JsonValue scrape_result(const std::string& response,
+                                    const char* command) {
+  const resilience::JsonValue doc = resilience::parse_json(response);
+  const resilience::JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    std::fprintf(stderr, "fmmio: %s scrape failed: %s\n", command,
+                 response.c_str());
+    std::exit(1);
+  }
+  return doc.at("result");
+}
+
+int cmd_metrics(const Args& args) {
+  if (args.has("connect")) {
+#ifdef __unix__
+    const std::string response = query_over_socket(
+        args.get("connect", ""), "{\"op\": \"metrics\"}");
+    const resilience::JsonValue result =
+        scrape_result(response, "metrics");
+    std::fputs(result.at("exposition").as_string().c_str(), stdout);
+    return 0;
+#else
+    usage_error("metrics: --connect needs a Unix platform");
+#endif
+  }
+  // No daemon: expose this process's own registry.  Mostly useful for
+  // eyeballing the exposition format; a fresh process has no samples.
+  std::fputs(obs::Registry::instance().prometheus_text().c_str(), stdout);
+  return 0;
+}
+
+int cmd_tail(const Args& args) {
+#ifdef __unix__
+  if (!args.has("connect")) {
+    usage_error("tail: needs --connect SOCKET (a running "
+                "`fmmio serve --socket` daemon)");
+  }
+  const std::int64_t limit = args.get_int("limit", 0);
+  if (limit < 0) {
+    usage_error("tail: --limit must be >= 0 (0 = everything recorded), "
+                "got " + std::to_string(limit));
+  }
+  std::ostringstream request;
+  request << "{\"op\": \"tail\", \"limit\": " << limit << "}";
+  const std::string response =
+      query_over_socket(args.get("connect", ""), request.str());
+  const resilience::JsonValue result = scrape_result(response, "tail");
+  // One record per line: `--slow` streams the slow-query log, default
+  // streams the recent-request ring (oldest first).
+  for (const auto& record :
+       result.at(args.has("slow") ? "slow" : "recent").items()) {
+    json_dump(record, std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+#else
+  usage_error("tail: needs a Unix platform");
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1012,7 +1153,7 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: fmmio <list|certify|bounds|simulate|cdag|parallel|"
-                 "sweep|serve|query|version> [args]\n");
+                 "sweep|serve|query|metrics|tail|version> [args]\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -1026,6 +1167,8 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
+    if (command == "metrics") return cmd_metrics(args);
+    if (command == "tail") return cmd_tail(args);
     if (command == "version") {
       std::printf("%s\n", obs::build_info_line().c_str());
       return 0;

@@ -38,6 +38,30 @@ class Stopwatch {
   clock::time_point start_;
 };
 
+/// RAII phase accumulator: adds elapsed steady-clock nanoseconds into
+/// `*target` on destruction.  Unlike ScopedTimer this has no name and
+/// no sink — it feeds plain int64 slots (request-telemetry phase
+/// durations, PhaseFrame fields) without a registry lookup, so it is
+/// cheap enough for per-request hot paths.  A nullptr target is a
+/// no-op.
+class ScopedNsAccumulator {
+ public:
+  explicit ScopedNsAccumulator(std::int64_t* target) : target_(target) {}
+
+  ScopedNsAccumulator(const ScopedNsAccumulator&) = delete;
+  ScopedNsAccumulator& operator=(const ScopedNsAccumulator&) = delete;
+
+  ~ScopedNsAccumulator() {
+    if (target_ != nullptr) {
+      *target_ += watch_.nanoseconds();
+    }
+  }
+
+ private:
+  std::int64_t* target_;
+  Stopwatch watch_;
+};
+
 /// Receiver of ScopedTimer measurements.  The obs metrics registry
 /// implements this and installs itself as the global sink, so any layer
 /// can time a scope without depending on the obs module.

@@ -1,0 +1,87 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.hpp"
+
+namespace fmm::obs {
+
+std::size_t HistogramSnapshot::bucket_of(std::int64_t value) {
+  if (value <= 0) {
+    return 0;
+  }
+  const std::size_t bucket =
+      static_cast<std::size_t>(
+          ilog2_floor(static_cast<std::uint64_t>(value))) +
+      1;
+  return std::min(bucket, kBuckets - 1);
+}
+
+std::int64_t HistogramSnapshot::bucket_lower(std::size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  return std::int64_t{1} << (bucket - 1);
+}
+
+std::int64_t HistogramSnapshot::bucket_upper(std::size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  if (bucket >= kBuckets - 1) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+std::int64_t HistogramSnapshot::percentile(double p) const {
+  if (count <= 0) {
+    return 0;
+  }
+  const double clamped = std::min(1.0, std::max(0.0, p));
+  // Rank of the requested sample, 1-based; p = 0 asks for the first.
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(clamped * static_cast<double>(count))));
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += bins[b];
+    if (seen >= rank) {
+      return std::min(bucket_upper(b), max);
+    }
+  }
+  return max;  // unreachable when bins sum to count; safe fallback
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    bins[b] += other.bins[b];
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    out.bins[b] = bins_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bin : bins_) {
+    bin.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fmm::obs

@@ -1,0 +1,90 @@
+// Deterministic fixed-bucket latency histogram.
+//
+// Buckets are powers of two over non-negative int64 values: bucket 0
+// holds values <= 0, bucket b (1 <= b <= 63) holds [2^(b-1), 2^b - 1],
+// and bucket 63's upper edge saturates at INT64_MAX.  The geometry is
+// FIXED — no dynamic rebucketing — so two histograms fed the same
+// multiset of values are bit-for-bit identical regardless of how the
+// recordings interleave across threads: count, sum, and per-bucket
+// tallies are relaxed atomic adds (exact under any schedule), and the
+// percentile estimator is a pure function of the bucket tallies.
+//
+// Percentiles are reported as the upper edge of the bucket containing
+// the requested rank, clamped to the exact observed maximum — a
+// deterministic over-estimate with at most 2x relative error, which is
+// the right trade for diffing latency trajectories across PRs (stable
+// numbers beat precise-but-noisy ones).
+//
+// Recording is lock-free and wait-free (a handful of relaxed
+// fetch_adds plus a CAS loop for the max); snapshots are torn-read
+// tolerant: a snapshot taken mid-recording may miss in-flight values
+// but never sees garbage.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace fmm::obs {
+
+/// Value-type copy of a Histogram's state; all derived statistics
+/// (percentiles, merges) operate on snapshots so they can run without
+/// touching the live atomics.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;  // exact observed maximum (0 when count == 0)
+  std::array<std::int64_t, kBuckets> bins{};
+
+  /// Bucket index for `value`: 0 for value <= 0, else
+  /// floor(log2(value)) + 1, clamped to kBuckets - 1.
+  static std::size_t bucket_of(std::int64_t value);
+  /// Inclusive lower edge of `bucket` (0 for bucket 0).
+  static std::int64_t bucket_lower(std::size_t bucket);
+  /// Inclusive upper edge of `bucket` (INT64_MAX for the last bucket).
+  static std::int64_t bucket_upper(std::size_t bucket);
+
+  /// Deterministic percentile estimate for p in [0, 1]: the upper edge
+  /// of the bucket containing rank ceil(p * count), clamped to `max`.
+  /// Returns 0 when the histogram is empty.
+  std::int64_t percentile(double p) const;
+
+  /// Adds `other`'s tallies into this snapshot (counts and sums add,
+  /// max takes the larger).  merge(a, b) == recording a's and b's
+  /// values into one histogram, by construction.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Lock-free log2-bucket histogram, registered in obs::Registry
+/// alongside Counter and Gauge.  References stay valid across
+/// Registry::reset(), matching the Counter/Gauge contract.
+class Histogram {
+ public:
+  void record(std::int64_t value) {
+    const std::int64_t clamped = value < 0 ? 0 : value;
+    bins_[HistogramSnapshot::bucket_of(clamped)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(clamped, std::memory_order_relaxed);
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (clamped > cur && !max_.compare_exchange_weak(
+                                cur, clamped, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  friend class Registry;
+  void reset();
+
+  std::array<std::atomic<std::int64_t>, HistogramSnapshot::kBuckets> bins_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+}  // namespace fmm::obs

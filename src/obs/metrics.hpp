@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/timing.hpp"
+#include "obs/histogram.hpp"
 
 namespace fmm::obs {
 
@@ -81,9 +82,20 @@ class Registry final : public TimerSink {
   /// Create-or-get.  Returned references stay valid forever.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// All metrics (counters then gauges merged), sorted by name.
+  /// Histograms are deliberately excluded — their distributions don't
+  /// flatten to one integer; use histograms() or prometheus_text().
   std::vector<std::pair<std::string, std::int64_t>> snapshot() const;
+
+  /// All histograms, sorted by name.
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters, gauges,
+  /// and histograms with cumulative `le` buckets.  Metric names are
+  /// prefixed `fmm_` with dots/dashes mapped to underscores.
+  std::string prometheus_text() const;
 
   /// Zeroes every value; names and references survive.
   void reset();
@@ -97,6 +109,7 @@ class Registry final : public TimerSink {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace fmm::obs

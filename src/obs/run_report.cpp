@@ -181,7 +181,13 @@ std::string RunReport::to_json() const {
   oss << "  \"name\": \"";
   json_escape(oss, name_);
   oss << "\",\n";
-  oss << "  \"meta\": {\"build\": " << build_info_json() << "},\n";
+  // meta.trace makes truncated traces detectable from the report alone:
+  // a nonzero dropped_events means the trace buffer overflowed and the
+  // Chrome trace (if written) is missing instants.
+  oss << "  \"meta\": {\"build\": " << build_info_json()
+      << ", \"trace\": {\"events\": " << Tracer::instance().num_events()
+      << ", \"dropped_events\": " << Tracer::instance().dropped_events()
+      << "}},\n";
   write_section("params", params_);
   oss << ",\n";
   write_section("phases_sec", phases_);

@@ -1,0 +1,156 @@
+#include "obs/telemetry.hpp"
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fmm::obs {
+
+namespace {
+
+thread_local PhaseFrame* t_current_frame = nullptr;
+
+}  // namespace
+
+const char* cache_verdict_name(CacheVerdict verdict) {
+  switch (verdict) {
+    case CacheVerdict::kUncacheable:
+      return "uncacheable";
+    case CacheVerdict::kMiss:
+      return "miss";
+    case CacheVerdict::kMissCoalesced:
+      return "miss_coalesced";
+    case CacheVerdict::kHit:
+      return "hit";
+  }
+  return "unknown";
+}
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kQueueWait:
+      return "queue_wait";
+    case Phase::kParse:
+      return "parse";
+    case Phase::kCacheLookup:
+      return "cache_lookup";
+    case Phase::kCdagBuild:
+      return "cdag_build";
+    case Phase::kSimulate:
+      return "simulate";
+    case Phase::kRender:
+      return "render";
+    case Phase::kEmit:
+      return "emit";
+  }
+  return "unknown";
+}
+
+PhaseFrame* current_phase_frame() { return t_current_frame; }
+
+ScopedPhaseFrame::ScopedPhaseFrame(PhaseFrame* frame)
+    : previous_(t_current_frame) {
+  t_current_frame = frame;
+}
+
+ScopedPhaseFrame::~ScopedPhaseFrame() { t_current_frame = previous_; }
+
+TelemetryRing::TelemetryRing(std::size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity) {}
+
+void TelemetryRing::push(const RequestTelemetry& rec) {
+  const std::uint64_t ticket =
+      next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % slots_.size()];
+  // Seqlock write: bump to odd, store the payload relaxed, bump back to
+  // even.  Readers that observe an odd or changed version skip the
+  // slot.  Two writers racing for the same slot (>= capacity pushes in
+  // flight at once) can interleave, but every field stays atomic and
+  // the version churn makes readers discard the slot.
+  slot.version.fetch_add(1, std::memory_order_acq_rel);
+  slot.seq.store(rec.seq, std::memory_order_relaxed);
+  slot.id.store(rec.id, std::memory_order_relaxed);
+  slot.op.store(rec.op, std::memory_order_relaxed);
+  slot.bytes_in.store(rec.bytes_in, std::memory_order_relaxed);
+  slot.bytes_out.store(rec.bytes_out, std::memory_order_relaxed);
+  slot.total_ns.store(rec.total_ns, std::memory_order_relaxed);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    slot.phase_ns[p].store(rec.phase_ns[p], std::memory_order_relaxed);
+  }
+  const int flags = (rec.has_id ? 1 : 0) | (rec.ok ? 2 : 0) |
+                    (static_cast<int>(rec.cache) << 2);
+  slot.flags.store(flags, std::memory_order_relaxed);
+  slot.version.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<RequestTelemetry> TelemetryRing::snapshot(
+    std::size_t limit) const {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t capacity = slots_.size();
+  std::uint64_t available = total < capacity ? total : capacity;
+  if (limit != 0 && limit < available) {
+    available = limit;
+  }
+  std::vector<RequestTelemetry> out;
+  out.reserve(available);
+  for (std::uint64_t ticket = total - available; ticket < total; ++ticket) {
+    const Slot& slot = slots_[ticket % capacity];
+    const std::uint64_t before =
+        slot.version.load(std::memory_order_acquire);
+    if (before % 2 != 0) {
+      continue;  // writer in progress
+    }
+    RequestTelemetry rec;
+    rec.seq = slot.seq.load(std::memory_order_relaxed);
+    rec.id = slot.id.load(std::memory_order_relaxed);
+    rec.op = slot.op.load(std::memory_order_relaxed);
+    rec.bytes_in = slot.bytes_in.load(std::memory_order_relaxed);
+    rec.bytes_out = slot.bytes_out.load(std::memory_order_relaxed);
+    rec.total_ns = slot.total_ns.load(std::memory_order_relaxed);
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      rec.phase_ns[p] = slot.phase_ns[p].load(std::memory_order_relaxed);
+    }
+    const int flags = slot.flags.load(std::memory_order_relaxed);
+    rec.has_id = (flags & 1) != 0;
+    rec.ok = (flags & 2) != 0;
+    rec.cache = static_cast<CacheVerdict>(flags >> 2);
+    const std::uint64_t after =
+        slot.version.load(std::memory_order_acquire);
+    if (after != before) {
+      continue;  // torn by a concurrent overwrite
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+TelemetrySink::TelemetrySink(TelemetryConfig config)
+    : config_(config),
+      ring_(config.ring_capacity),
+      slow_(config.slow_capacity) {}
+
+void TelemetrySink::record(RequestTelemetry rec) {
+  rec.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ring_.push(rec);
+  if (rec.total_ns > config_.slow_threshold_ns) {
+    slow_total_.fetch_add(1, std::memory_order_relaxed);
+    slow_.push(rec);
+  }
+  auto& registry = Registry::instance();
+  registry.histogram(std::string("service.latency.") + rec.op)
+      .record(rec.total_ns);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    if (rec.phase_ns[p] > 0) {
+      registry
+          .counter(std::string("service.phase.") +
+                   phase_name(static_cast<Phase>(p)) + ".ns")
+          .add(rec.phase_ns[p]);
+    }
+  }
+  registry.counter("service.telemetry.records").increment();
+  if (rec.total_ns > config_.slow_threshold_ns) {
+    registry.counter("service.telemetry.slow").increment();
+  }
+}
+
+}  // namespace fmm::obs

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace fmm::obs {
 
@@ -80,12 +81,19 @@ void Tracer::record(const char* name, const char* category, char phase) {
                     std::chrono::steady_clock::now() - impl_->origin)
                     .count();
   event.tid = current_tid();
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (phase == 'i' && impl_->events.size() >= impl_->capacity) {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!(phase == 'i' && impl_->events.size() >= impl_->capacity)) {
+      impl_->events.push_back(std::move(event));
+      return;
+    }
     ++impl_->dropped;
-    return;
   }
-  impl_->events.push_back(std::move(event));
+  // Overflow used to be silent; the registry counter makes truncated
+  // traces detectable in every metrics snapshot and run report.  The
+  // tracer's own `dropped` survives Registry::reset(); the counter is
+  // per-run like every other metric.
+  Registry::instance().counter("trace.dropped_events").increment();
 }
 
 void Tracer::set_capacity(std::size_t max_events) {

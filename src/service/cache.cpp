@@ -3,12 +3,30 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/timing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "resilience/checkpoint.hpp"
 
 namespace fmm::service {
 
 namespace {
+
+// Per-request hit/miss/wait attribution: when the calling thread is
+// inside a service request (a PhaseFrame is installed), the cache
+// credits what happened to that request's span.  Outside a request
+// (sweeps, benches) these are no-ops.
+void note_hit() {
+  if (auto* frame = obs::current_phase_frame()) {
+    ++frame->cache_hits;
+  }
+}
+
+void note_miss() {
+  if (auto* frame = obs::current_phase_frame()) {
+    ++frame->cache_misses;
+  }
+}
 
 obs::Counter& hits_counter() {
   static obs::Counter& c =
@@ -100,8 +118,12 @@ void ContentCache::insert_locked(Shard& shard, Entry entry) {
 
 std::shared_ptr<const cdag::Cdag> ContentCache::get_or_build_cdag(
     const std::string& key, const std::function<cdag::Cdag()>& build) {
+  obs::PhaseFrame* frame = obs::current_phase_frame();
   if (config_.memory_budget_bytes == 0) {
     misses_counter().increment();
+    note_miss();
+    const ScopedNsAccumulator build_timer(
+        frame != nullptr ? &frame->cdag_build_ns : nullptr);
     return std::make_shared<const cdag::Cdag>(build());
   }
   Shard& shard = shard_for(key);
@@ -111,6 +133,7 @@ std::shared_ptr<const cdag::Cdag> ContentCache::get_or_build_cdag(
     if (it != shard.index.end()) {
       touch_locked(shard, it->second);
       hits_counter().increment();
+      note_hit();
       return it->second->cdag;
     }
     if (!shard.building.count(key)) {
@@ -118,13 +141,20 @@ std::shared_ptr<const cdag::Cdag> ContentCache::get_or_build_cdag(
     }
     // Single-flight: wait for the in-flight build of this key.  If it
     // throws, waiters wake to no entry and no builder, and retry.
+    // The waited time is attributed to the current request's span so
+    // coalesced requests are distinguishable from fresh builds.
+    const ScopedNsAccumulator wait_timer(
+        frame != nullptr ? &frame->singleflight_wait_ns : nullptr);
     shard.build_done.wait(lock);
   }
   misses_counter().increment();
+  note_miss();
   shard.building.insert(key);
   lock.unlock();
   std::shared_ptr<const cdag::Cdag> built;
   try {
+    const ScopedNsAccumulator build_timer(
+        frame != nullptr ? &frame->cdag_build_ns : nullptr);
     built = std::make_shared<const cdag::Cdag>(build());
   } catch (...) {
     lock.lock();
@@ -149,6 +179,7 @@ std::shared_ptr<const std::string> ContentCache::get_payload(
     const std::string& key) {
   if (config_.memory_budget_bytes == 0) {
     misses_counter().increment();
+    note_miss();
     return nullptr;
   }
   Shard& shard = shard_for(key);
@@ -156,10 +187,12 @@ std::shared_ptr<const std::string> ContentCache::get_payload(
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_counter().increment();
+    note_miss();
     return nullptr;
   }
   touch_locked(shard, it->second);
   hits_counter().increment();
+  note_hit();
   return it->second->payload;
 }
 

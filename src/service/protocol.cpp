@@ -45,10 +45,12 @@ Op op_from_name(const std::string& name) {
   if (name == "simulate") return Op::kSimulate;
   if (name == "liveness") return Op::kLiveness;
   if (name == "cdag") return Op::kCdag;
+  if (name == "metrics") return Op::kMetrics;
+  if (name == "tail") return Op::kTail;
   if (name == "shutdown") return Op::kShutdown;
   usage("unknown op '" + name +
         "'; expected ping, version, stats, bound, simulate, liveness, "
-        "cdag or shutdown");
+        "cdag, metrics, tail or shutdown");
 }
 
 bool field_allowed(Op op, const std::string& field) {
@@ -59,8 +61,11 @@ bool field_allowed(Op op, const std::string& field) {
     case Op::kPing:
     case Op::kVersion:
     case Op::kStats:
+    case Op::kMetrics:
     case Op::kShutdown:
       return false;
+    case Op::kTail:
+      return field == "limit";
     case Op::kBound:
       return field == "n" || field == "m" || field == "p";
     case Op::kSimulate:
@@ -103,6 +108,8 @@ const char* op_name(Op op) {
     case Op::kSimulate: return "simulate";
     case Op::kLiveness: return "liveness";
     case Op::kCdag: return "cdag";
+    case Op::kMetrics: return "metrics";
+    case Op::kTail: return "tail";
     case Op::kShutdown: return "shutdown";
   }
   return "?";
@@ -190,6 +197,11 @@ Request parse_request(const std::string& line) {
       } catch (const CheckError&) {
         usage("seed must be an unsigned integer");
       }
+    } else if (field == "limit") {
+      request.limit = integer_field(value, "limit");
+      if (request.limit < 0) {
+        usage("limit must be >= 0, got " + std::to_string(request.limit));
+      }
     }
   }
 
@@ -233,6 +245,8 @@ Request parse_request(const std::string& line) {
     case Op::kPing:
     case Op::kVersion:
     case Op::kStats:
+    case Op::kMetrics:
+    case Op::kTail:
     case Op::kShutdown:
       break;
   }
@@ -271,6 +285,8 @@ std::string canonical_request(const Request& request) {
     case Op::kPing:
     case Op::kVersion:
     case Op::kStats:
+    case Op::kMetrics:
+    case Op::kTail:
     case Op::kShutdown:
       break;
   }
@@ -288,6 +304,8 @@ bool op_is_cacheable(Op op) {
     case Op::kPing:
     case Op::kVersion:
     case Op::kStats:
+    case Op::kMetrics:
+    case Op::kTail:
     case Op::kShutdown:
       return false;
   }

@@ -18,6 +18,13 @@
 //               path and one determinism contract.
 //   liveness  — zero-spill working-set profile, same task-row form.
 //   cdag      — structure of H^{n x n} (vertices, edges, role counts).
+//   metrics   — Prometheus text exposition of the metrics registry
+//               (counters, gauges, histogram buckets) as one JSON
+//               string; scraped by `fmmio metrics` / tools/fmm_top.py.
+//   tail      — the recent-request telemetry ring plus the slow-query
+//               log (requests over the --slow-ms threshold), with
+//               per-phase duration breakdowns.  Optional "limit" caps
+//               how many recent records return (0 = all).
 //   shutdown  — graceful drain: in-flight requests finish and are
 //               answered, then the session ends.
 //
@@ -30,8 +37,8 @@
 // Determinism contract: for bound/simulate/liveness/cdag, the `result`
 // object is a pure function of the canonical request (id excluded) —
 // byte-identical regardless of cache state, thread count or request
-// interleaving.  ping/version/stats are control ops and exempt (stats
-// is inherently point-in-time).
+// interleaving.  ping/version/stats/metrics/tail are control ops and
+// exempt (stats/metrics/tail are inherently point-in-time).
 #pragma once
 
 #include <cstdint>
@@ -51,6 +58,8 @@ enum class Op {
   kSimulate,
   kLiveness,
   kCdag,
+  kMetrics,
+  kTail,
   kShutdown,
 };
 
@@ -70,6 +79,7 @@ struct Request {
   std::string policy = "lru";    // simulate only
   bool remat = false;            // simulate only
   std::uint64_t seed = 1;        // simulate (random schedule) only
+  std::int64_t limit = 0;        // tail only; 0 = everything in the ring
 };
 
 /// Malformed request.  what() is the complete one-line error string

@@ -52,6 +52,57 @@ bool blank(const std::string& line) {
   return true;
 }
 
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+obs::TelemetryConfig telemetry_config_from(const ServiceConfig& config) {
+  obs::TelemetryConfig tc;
+  tc.ring_capacity = config.telemetry_ring;
+  tc.slow_capacity = config.slow_log;
+  tc.slow_threshold_ns = config.slow_ms * 1'000'000;
+  return tc;
+}
+
+/// One ring record as a JSON object (the `tail` op's row shape; the
+/// fmmio tail subcommand re-emits these verbatim as NDJSON).
+void render_telemetry_record(std::ostream& os,
+                             const obs::RequestTelemetry& rec) {
+  os << "{\"seq\": " << rec.seq << ", \"id\": ";
+  if (rec.has_id) {
+    os << rec.id;
+  } else {
+    os << "null";
+  }
+  os << ", \"op\": \"" << rec.op << "\", \"ok\": "
+     << (rec.ok ? "true" : "false") << ", \"cache\": \""
+     << obs::cache_verdict_name(rec.cache)
+     << "\", \"bytes_in\": " << rec.bytes_in
+     << ", \"bytes_out\": " << rec.bytes_out
+     << ", \"total_ns\": " << rec.total_ns << ", \"phases_ns\": {";
+  for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+    os << (p == 0 ? "" : ", ") << "\""
+       << obs::phase_name(static_cast<obs::Phase>(p))
+       << "\": " << rec.phase_ns[p];
+  }
+  os << "}}";
+}
+
 }  // namespace
 
 std::shared_ptr<const cdag::Cdag> CachingCdagSource::get_cdag(
@@ -66,7 +117,8 @@ QueryService::QueryService(ServiceConfig config)
     : config_(config),
       cache_(config.cache),
       cdag_source_(cache_),
-      pool_(config.num_threads) {}
+      pool_(config.num_threads),
+      telemetry_(telemetry_config_from(config)) {}
 
 void QueryService::record_request() {
   const std::scoped_lock lock(stats_mutex_);
@@ -115,6 +167,14 @@ std::string QueryService::control_response(const Request& request) {
     case Op::kStats: {
       const ServiceStats totals = stats();
       const CacheStats cache_stats = cache_.stats();
+      // Derived ratios ride along so callers stop re-deriving them
+      // from raw counters: hit-rate over lookups seen so far, total
+      // evictions, and the instantaneous compute queue depth.
+      const std::int64_t lookups = cache_stats.hits + cache_stats.misses;
+      const double hit_rate =
+          lookups == 0 ? 0.0
+                       : static_cast<double>(cache_stats.hits) /
+                             static_cast<double>(lookups);
       std::ostringstream os;
       os << "{\"requests\": " << totals.requests
          << ", \"responded\": " << totals.responded
@@ -125,7 +185,46 @@ std::string QueryService::control_response(const Request& request) {
          << ", \"misses\": " << cache_stats.misses
          << ", \"evictions\": " << cache_stats.evictions
          << ", \"entries\": " << cache_stats.entries
-         << ", \"bytes\": " << cache_stats.bytes << "}}";
+         << ", \"bytes\": " << cache_stats.bytes
+         << "}, \"cache_hit_rate\": ";
+      write_double(os, hit_rate);
+      os << ", \"cache_evictions\": " << cache_stats.evictions
+         << ", \"queue_depth\": " << queue_depth() << "}";
+      result = os.str();
+      break;
+    }
+    case Op::kMetrics: {
+      std::ostringstream os;
+      os << "{\"format\": \"prometheus-0.0.4\", \"exposition\": \"";
+      json_escape(os, obs::Registry::instance().prometheus_text());
+      os << "\"}";
+      result = os.str();
+      break;
+    }
+    case Op::kTail: {
+      const std::size_t limit =
+          request.limit <= 0 ? 0
+                             : static_cast<std::size_t>(request.limit);
+      const auto recent = telemetry_.ring().snapshot(limit);
+      const auto slow = telemetry_.slow().snapshot(limit);
+      std::ostringstream os;
+      os << "{\"slow_threshold_ms\": "
+         << telemetry_.slow_threshold_ns() / 1'000'000
+         << ", \"ring_capacity\": " << telemetry_.ring().capacity()
+         << ", \"recorded\": " << telemetry_.ring().recorded()
+         << ", \"dropped\": " << telemetry_.ring().dropped()
+         << ", \"slow_total\": " << telemetry_.slow_count()
+         << ", \"recent\": [";
+      for (std::size_t i = 0; i < recent.size(); ++i) {
+        os << (i == 0 ? "" : ", ");
+        render_telemetry_record(os, recent[i]);
+      }
+      os << "], \"slow\": [";
+      for (std::size_t i = 0; i < slow.size(); ++i) {
+        os << (i == 0 ? "" : ", ");
+        render_telemetry_record(os, slow[i]);
+      }
+      os << "]}";
       result = os.str();
       break;
     }
@@ -137,7 +236,8 @@ std::string QueryService::control_response(const Request& request) {
 }
 
 std::optional<std::string> QueryService::pre_compute_response(
-    const Request& request, bool* is_shutdown) {
+    const Request& request, bool* is_shutdown,
+    obs::RequestTelemetry* telemetry) {
   if (request.op == Op::kShutdown) {
     *is_shutdown = true;
     record_response(op_name(request.op), true);
@@ -154,6 +254,9 @@ std::optional<std::string> QueryService::pre_compute_response(
         ++totals_.deadline_exceeded;
       }
       record_response(op_name(request.op), false);
+      if (telemetry != nullptr) {
+        telemetry->ok = false;
+      }
       return error_response(
           request.has_id, request.id,
           "deadline_exceeded: estimated cost " + std::to_string(cost) +
@@ -255,40 +358,101 @@ std::string QueryService::compute_result(const Request& request) {
   return {};
 }
 
-std::string QueryService::compute_response(const Request& request) {
+std::string QueryService::compute_response(
+    const Request& request, obs::RequestTelemetry* telemetry) {
   FMM_TRACE_SPAN("service.request", "service");
+  // The frame collects cdag-build / simulate / single-flight-wait time
+  // attributed by ContentCache and sweep::run_task on this thread.
+  obs::PhaseFrame frame;
+  const obs::ScopedPhaseFrame frame_guard(&frame);
+  const Stopwatch run;
+  std::string response;
   try {
-    const std::string key =
-        ContentCache::result_key(canonical_request(request));
-    if (const auto cached = cache_.get_payload(key)) {
-      record_response(op_name(request.op), true);
-      return ok_response(request, *cached);
+    std::int64_t lookup_ns = 0;
+    std::string key;
+    std::shared_ptr<const std::string> cached;
+    {
+      const ScopedNsAccumulator lookup_timer(&lookup_ns);
+      key = ContentCache::result_key(canonical_request(request));
+      cached = cache_.get_payload(key);
     }
-    std::string result = compute_result(request);
-    cache_.put_payload(key, result);
-    record_response(op_name(request.op), true);
-    return ok_response(request, result);
+    if (telemetry != nullptr) {
+      telemetry->phase(obs::Phase::kCacheLookup) = lookup_ns;
+    }
+    if (cached) {
+      if (telemetry != nullptr) {
+        telemetry->cache = obs::CacheVerdict::kHit;
+      }
+      record_response(op_name(request.op), true);
+      response = ok_response(request, *cached);
+    } else {
+      std::string result = compute_result(request);
+      cache_.put_payload(key, result);
+      if (telemetry != nullptr) {
+        telemetry->cache = frame.singleflight_wait_ns > 0
+                               ? obs::CacheVerdict::kMissCoalesced
+                               : obs::CacheVerdict::kMiss;
+      }
+      record_response(op_name(request.op), true);
+      response = ok_response(request, result);
+    }
   } catch (const std::exception& e) {
     record_response(op_name(request.op), false);
-    return error_response(request.has_id, request.id,
-                          std::string("internal_error: ") + e.what());
+    if (telemetry != nullptr) {
+      telemetry->ok = false;
+    }
+    response = error_response(request.has_id, request.id,
+                              std::string("internal_error: ") + e.what());
   }
+  if (telemetry != nullptr) {
+    // Single-flight wait counts as cdag-build time from this request's
+    // point of view: it spent that long waiting for the CDAG to exist.
+    const std::int64_t cdag_ns =
+        frame.cdag_build_ns + frame.singleflight_wait_ns;
+    telemetry->phase(obs::Phase::kCdagBuild) = cdag_ns;
+    telemetry->phase(obs::Phase::kSimulate) = frame.simulate_ns;
+    const std::int64_t render_ns =
+        run.nanoseconds() - telemetry->phase(obs::Phase::kCacheLookup) -
+        cdag_ns - frame.simulate_ns;
+    telemetry->phase(obs::Phase::kRender) = render_ns < 0 ? 0 : render_ns;
+  }
+  return response;
 }
 
 std::string QueryService::handle_line(const std::string& line) {
   record_request();
+  obs::RequestTelemetry rec;
+  rec.bytes_in = static_cast<std::int64_t>(line.size());
+  const Stopwatch total;
   Request request;
   try {
+    const ScopedNsAccumulator parse_timer(
+        &rec.phase(obs::Phase::kParse));
     request = parse_request(line);
   } catch (const ProtocolError& e) {
     record_response("invalid", false);
-    return error_response(false, 0, e.what());
+    rec.op = "invalid";
+    rec.ok = false;
+    std::string response = error_response(false, 0, e.what());
+    rec.bytes_out = static_cast<std::int64_t>(response.size());
+    rec.total_ns = total.nanoseconds();
+    telemetry_.record(rec);
+    return response;
   }
+  rec.op = op_name(request.op);
+  rec.has_id = request.has_id;
+  rec.id = request.id;
   bool is_shutdown = false;
-  if (auto response = pre_compute_response(request, &is_shutdown)) {
-    return *response;
+  std::string response;
+  if (auto pre = pre_compute_response(request, &is_shutdown, &rec)) {
+    response = std::move(*pre);
+  } else {
+    response = compute_response(request, &rec);
   }
-  return compute_response(request);
+  rec.bytes_out = static_cast<std::int64_t>(response.size());
+  rec.total_ns = total.nanoseconds();
+  telemetry_.record(rec);
+  return response;
 }
 
 bool QueryService::serve(std::istream& in, std::ostream& out) {
@@ -297,10 +461,17 @@ bool QueryService::serve(std::istream& in, std::ostream& out) {
   // Ordered emission: every admitted line gets a sequence number; a
   // dedicated emitter writes ready responses strictly in that order, so
   // concurrent compute on the pool never reorders the reply stream.
+  // The emitter also finalizes each request's telemetry record (emit
+  // phase + bytes out) AFTER the response bytes are rendered and
+  // written — telemetry can never reach canonical response bytes.
+  struct Pending {
+    std::string response;
+    obs::RequestTelemetry telemetry;
+  };
   struct Emitter {
     std::mutex mutex;
     std::condition_variable ready_cv;
-    std::map<std::size_t, std::string> ready;
+    std::map<std::size_t, Pending> ready;
     std::size_t next = 0;
     std::size_t total = 0;
     bool done_reading = false;
@@ -316,24 +487,36 @@ bool QueryService::serve(std::istream& in, std::ostream& out) {
       if (it == emit.ready.end()) {
         return;  // done_reading and everything emitted
       }
-      const std::string response = std::move(it->second);
+      Pending pending = std::move(it->second);
       emit.ready.erase(it);
       ++emit.next;
       lock.unlock();
-      out << response << '\n';
-      out.flush();  // clients block on replies; never batch them
+      {
+        const ScopedNsAccumulator emit_timer(
+            &pending.telemetry.phase(obs::Phase::kEmit));
+        out << pending.response << '\n';
+        out.flush();  // clients block on replies; never batch them
+      }
+      pending.telemetry.bytes_out =
+          static_cast<std::int64_t>(pending.response.size()) + 1;
+      pending.telemetry.total_ns +=
+          pending.telemetry.phase(obs::Phase::kEmit);
+      telemetry_.record(pending.telemetry);
       lock.lock();
     }
   });
-  const auto deliver = [&emit](std::size_t seq, std::string response) {
+  const auto deliver = [&emit](std::size_t seq, std::string response,
+                               obs::RequestTelemetry telemetry) {
     {
       const std::scoped_lock lock(emit.mutex);
-      emit.ready.emplace(seq, std::move(response));
+      emit.ready.emplace(
+          seq, Pending{std::move(response), telemetry});
     }
     emit.ready_cv.notify_all();
   };
 
-  std::atomic<std::size_t> in_flight{0};
+  auto& queue_depth_gauge =
+      obs::Registry::instance().gauge("service.queue_depth");
   std::size_t seq = 0;
   bool shutdown = false;
   std::string line;
@@ -343,38 +526,61 @@ bool QueryService::serve(std::istream& in, std::ostream& out) {
     }
     const std::size_t index = seq++;
     record_request();
+    obs::RequestTelemetry rec;
+    rec.bytes_in = static_cast<std::int64_t>(line.size());
+    const Stopwatch admitted;
     Request request;
     try {
+      const ScopedNsAccumulator parse_timer(
+          &rec.phase(obs::Phase::kParse));
       request = parse_request(line);
     } catch (const ProtocolError& e) {
       record_response("invalid", false);
-      deliver(index, error_response(false, 0, e.what()));
+      rec.op = "invalid";
+      rec.ok = false;
+      rec.total_ns = admitted.nanoseconds();
+      deliver(index, error_response(false, 0, e.what()), rec);
       continue;
     }
-    if (auto response = pre_compute_response(request, &shutdown)) {
-      deliver(index, std::move(*response));
+    rec.op = op_name(request.op);
+    rec.has_id = request.has_id;
+    rec.id = request.id;
+    if (auto response = pre_compute_response(request, &shutdown, &rec)) {
+      rec.total_ns = admitted.nanoseconds();
+      deliver(index, std::move(*response), rec);
       continue;
     }
     // Bounded admission: explicit backpressure beats an unbounded queue
     // silently eating memory.  The rejection is still emitted in order.
-    if (in_flight.load(std::memory_order_acquire) >= config_.max_queue) {
+    if (in_flight_.load(std::memory_order_acquire) >=
+        static_cast<std::int64_t>(config_.max_queue)) {
       {
         const std::scoped_lock lock(stats_mutex_);
         ++totals_.rejected_queue_full;
       }
       record_response(op_name(request.op), false);
+      rec.ok = false;
+      rec.total_ns = admitted.nanoseconds();
       deliver(index,
               error_response(request.has_id, request.id,
-                             "rejected: queue_full"));
+                             "rejected: queue_full"),
+              rec);
       continue;
     }
-    in_flight.fetch_add(1, std::memory_order_acq_rel);
-    // deliver/in_flight are captured by reference: serve() joins the
-    // pool (wait_idle) before they go out of scope.
-    pool_.submit([this, &deliver, &in_flight, request, index] {
-      std::string response = compute_response(request);
-      in_flight.fetch_sub(1, std::memory_order_acq_rel);
-      deliver(index, std::move(response));
+    queue_depth_gauge.record_max(
+        in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1);
+    // deliver is captured by reference: serve() joins the pool
+    // (wait_idle) before it goes out of scope.
+    pool_.submit([this, &deliver, request, index, rec,
+                  queued = Stopwatch()]() mutable {
+      rec.phase(obs::Phase::kQueueWait) = queued.nanoseconds();
+      const Stopwatch run;
+      std::string response = compute_response(request, &rec);
+      rec.total_ns = rec.phase(obs::Phase::kParse) +
+                     rec.phase(obs::Phase::kQueueWait) +
+                     run.nanoseconds();
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      deliver(index, std::move(response), rec);
     });
   }
 
@@ -397,6 +603,8 @@ bool QueryService::serve(std::istream& in, std::ostream& out) {
   registry.gauge("service.rejected_queue_full")
       .set(totals.rejected_queue_full);
   registry.gauge("service.deadline_exceeded").set(totals.deadline_exceeded);
+  registry.gauge("service.slow_requests")
+      .set(static_cast<std::int64_t>(telemetry_.slow_count()));
   cache_.stats();  // refreshes the service.cache.* gauges
   return shutdown;
 }
@@ -445,13 +653,71 @@ std::string QueryService::service_json() const {
   return os.str();
 }
 
+std::string QueryService::telemetry_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "      \"schema\": \"" << kTelemetrySchema << "\",\n";
+  os << "      \"schema_version\": " << kTelemetrySchemaVersion << ",\n";
+  os << "      \"slow_threshold_ms\": "
+     << telemetry_.slow_threshold_ns() / 1'000'000 << ",\n";
+  os << "      \"ring_capacity\": " << telemetry_.ring().capacity()
+     << ",\n";
+  os << "      \"recorded\": " << telemetry_.ring().recorded() << ",\n";
+  os << "      \"dropped\": " << telemetry_.ring().dropped() << ",\n";
+  os << "      \"slow_total\": " << telemetry_.slow_count() << ",\n";
+  // Per-op latency distributions: the registry histograms this sink
+  // fed, named service.latency.<op>.  Only non-zero buckets render.
+  os << "      \"ops\": [";
+  const std::string prefix = "service.latency.";
+  bool first = true;
+  for (const auto& [name, snap] :
+       obs::Registry::instance().histograms()) {
+    if (name.rfind(prefix, 0) != 0 || snap.count == 0) {
+      continue;
+    }
+    os << (first ? "\n" : ",\n") << "        {\"op\": \""
+       << name.substr(prefix.size()) << "\", \"count\": " << snap.count
+       << ", \"sum_ns\": " << snap.sum << ", \"max_ns\": " << snap.max
+       << ", \"p50_ns\": " << snap.percentile(0.50)
+       << ", \"p90_ns\": " << snap.percentile(0.90)
+       << ", \"p99_ns\": " << snap.percentile(0.99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < obs::HistogramSnapshot::kBuckets; ++b) {
+      if (snap.bins[b] == 0) {
+        continue;
+      }
+      os << (first_bucket ? "" : ", ") << "{\"le\": "
+         << obs::HistogramSnapshot::bucket_upper(b)
+         << ", \"count\": " << snap.bins[b] << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n      ") << "],\n";
+  // The most recent spans (bounded — reports should stay small; the
+  // live `tail` op serves the full ring).
+  const auto recent = telemetry_.ring().snapshot(32);
+  os << "      \"recent\": [";
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "        ";
+    render_telemetry_record(os, recent[i]);
+  }
+  os << (recent.empty() ? "" : "\n      ") << "]\n";
+  os << "    }";
+  return os.str();
+}
+
 void QueryService::attach_to(obs::RunReport& report) const {
   const ServiceStats totals = stats();
   report.set_result("service_requests", totals.requests);
   report.set_result("service_responded", totals.responded);
   report.set_result("service_ok", totals.ok);
   report.set_result("service_errors", totals.errors);
+  report.set_result("service_slow_requests",
+                    static_cast<std::int64_t>(telemetry_.slow_count()));
   report.add_raw_section("service", service_json());
+  report.add_raw_section("telemetry", telemetry_json());
 }
 
 #ifdef __unix__

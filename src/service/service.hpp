@@ -31,6 +31,7 @@
 // in-flight request is ever dropped.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -39,12 +40,16 @@
 #include <string>
 
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
 #include "sweep/sweep.hpp"
 
 namespace fmm::service {
+
+inline constexpr const char* kTelemetrySchema = "fmm.telemetry";
+inline constexpr int kTelemetrySchemaVersion = 1;
 
 /// sweep::CdagSource backed by the service cache, so sweep cells, serve
 /// requests and single-shot subcommands share one content-addressed
@@ -72,6 +77,12 @@ struct ServiceConfig {
   CacheConfig cache;
   /// Virtual-clock deadline per request in ticks; 0 = no deadline.
   std::int64_t deadline_ticks = 0;
+  /// Recent-request telemetry ring size (the `tail` op's window).
+  std::size_t telemetry_ring = 256;
+  /// Slow-query log size (requests over slow_ms, also via `tail`).
+  std::size_t slow_log = 64;
+  /// Requests whose total latency exceeds this land in the slow log.
+  std::int64_t slow_ms = 100;
 };
 
 /// Session tallies for stats responses and the extra.service report.
@@ -118,12 +129,26 @@ class QueryService {
   /// Point-in-time session tallies.
   ServiceStats stats() const;
 
+  /// Compute requests currently queued-or-running on the pool.
+  std::int64_t queue_depth() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// The per-request span recorder (recent ring + slow log).
+  const obs::TelemetrySink& telemetry() const { return telemetry_; }
+
   /// The versioned `extra.service` section (schema fmm.service v1):
   /// totals, cache stats, and per-op rows the totals re-derive from.
   std::string service_json() const;
 
-  /// Embeds service_json() under extra.service and records headline
-  /// results (service_requests/service_ok/...).
+  /// The versioned `extra.telemetry` section (schema fmm.telemetry v1):
+  /// per-op latency histograms with percentile summaries plus the
+  /// recent-request ring with per-phase breakdowns.
+  std::string telemetry_json() const;
+
+  /// Embeds service_json() under extra.service, telemetry_json() under
+  /// extra.telemetry, and records headline results
+  /// (service_requests/service_ok/...).
   void attach_to(obs::RunReport& report) const;
 
  private:
@@ -139,11 +164,15 @@ class QueryService {
   /// failures).
   void record_response(const std::string& op, bool is_ok);
 
-  /// ping/version/stats — cheap, inline, exempt from determinism.
+  /// ping/version/stats/metrics/tail — cheap, inline, exempt from
+  /// determinism.
   std::string control_response(const Request& request);
   /// bound/simulate/liveness/cdag through the result cache; catches
   /// everything into internal_error responses.  Tallies the response.
-  std::string compute_response(const Request& request);
+  /// Fills `telemetry`'s cache verdict and cache-lookup/cdag-build/
+  /// simulate/render phases (nullptr skips all telemetry).
+  std::string compute_response(const Request& request,
+                               obs::RequestTelemetry* telemetry);
   /// Renders the deterministic result object (cache miss path).
   std::string compute_result(const Request& request);
   /// Deterministic virtual-clock cost estimate of a request.
@@ -151,14 +180,19 @@ class QueryService {
   /// Everything except pool-dispatched compute: shutdown, control ops
   /// and virtual-clock deadline rejection.  Returns the tallied
   /// response, or nullopt when the request needs compute_response.
-  /// Sets *is_shutdown for the shutdown op.
-  std::optional<std::string> pre_compute_response(const Request& request,
-                                                  bool* is_shutdown);
+  /// Sets *is_shutdown for the shutdown op; marks `telemetry` not-ok
+  /// on deadline rejection.
+  std::optional<std::string> pre_compute_response(
+      const Request& request, bool* is_shutdown,
+      obs::RequestTelemetry* telemetry);
 
   ServiceConfig config_;
   ContentCache cache_;
   CachingCdagSource cdag_source_;
   parallel::ThreadPool pool_;
+  obs::TelemetrySink telemetry_;
+  /// Compute requests queued-or-running (admission bound + stats).
+  std::atomic<std::int64_t> in_flight_{0};
 
   mutable std::mutex stats_mutex_;
   ServiceStats totals_;

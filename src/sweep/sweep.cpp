@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "common/timing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "pebble/liveness.hpp"
@@ -299,6 +300,13 @@ TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
                     const SweepSpec& spec) {
   TaskResult result;
   result.cell = cell;
+  // When a service request drove this task, its span gets the whole
+  // pebble/liveness/dominator evaluation as simulate time.  Timing is
+  // observation only — the result payload stays untouched, preserving
+  // the sweep determinism contract.
+  obs::PhaseFrame* frame = obs::current_phase_frame();
+  const ScopedNsAccumulator simulate_timer(
+      frame != nullptr ? &frame->simulate_ns : nullptr);
   Rng rng(cell.seed);
   try {
     switch (cell.kind) {

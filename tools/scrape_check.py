@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Live-daemon scrape check for the telemetry surface.
+
+Usage: scrape_check.py /path/to/fmmio
+
+Starts `fmmio serve --socket <tmp> --slow-ms 0`, populates it with a
+handful of compute requests through `fmmio query --connect`, then
+exercises the two scrape subcommands and validates what they return:
+
+  - `fmmio metrics --connect` emits parseable Prometheus 0.0.4 text:
+    every non-comment line is `name[{le="edge"}] value`, every series
+    has a preceding `# TYPE`, histogram bucket series are cumulative
+    (monotone in le) and end in a `+Inf` bucket equal to `_count`,
+    and `_sum`/`_count` are present per histogram;
+  - per-op latency series exist for every op the session issued, with
+    populated p50/p99 (derivable from the buckets, count > 0);
+  - `fmmio tail --connect` returns NDJSON spans whose per-phase
+    breakdowns are populated (a cold simulate shows cdag_build and
+    simulate time; phases sum to <= total);
+  - `fmm_top.py --once` renders a frame over the same socket;
+  - shutdown drains the daemon to exit code 0.
+
+Exit code 0 iff every assertion holds.
+"""
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message):
+    print("scrape_check: FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def run(argv):
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        fail("%r exited %d: %s" % (argv, proc.returncode, proc.stderr))
+    return proc.stdout
+
+
+def check_exposition(text):
+    """Line-level grammar + histogram shape checks; returns sample dict."""
+    sample_re = re.compile(
+        r'^([a-zA-Z_][a-zA-Z0-9_]*)(\{le="(\+Inf|\d+)"\})? (-?\d+(\.\d+)?)$')
+    typed = set()
+    samples = {}
+    buckets = {}  # base name -> [(edge, cumulative)] in file order
+    for line in text.splitlines():
+        if not line:
+            fail("blank line in exposition")
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram"):
+                fail("malformed TYPE line: %r" % line)
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if not match:
+            fail("unparseable sample line: %r" % line)
+        name, le_part, edge = match.group(1), match.group(2), match.group(3)
+        value = float(match.group(4))
+        if le_part:
+            base = name[: -len("_bucket")]
+            buckets.setdefault(base, []).append((edge, value))
+        else:
+            samples[name] = value
+        series = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                series = name[: -len(suffix)]
+        if series not in typed and name not in typed:
+            fail("sample %r has no preceding # TYPE" % name)
+    for base, rows in buckets.items():
+        if rows[-1][0] != "+Inf":
+            fail("%s buckets do not end in +Inf" % base)
+        cumulative = [count for _, count in rows]
+        if cumulative != sorted(cumulative):
+            fail("%s buckets are not cumulative: %r" % (base, rows))
+        count = samples.get(base + "_count")
+        if count is None or base + "_sum" not in samples:
+            fail("%s lacks _sum/_count" % base)
+        if rows[-1][1] != count:
+            fail("%s +Inf bucket %s != _count %s"
+                 % (base, rows[-1][1], count))
+    return samples, buckets
+
+
+def percentile(rows, count, p):
+    rank = max(1, int(p * count + 0.999999))
+    for edge, cumulative in rows:
+        if cumulative >= rank:
+            return edge
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fmmio = argv[1]
+    fmm_top = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fmm_top.py")
+    sock = os.path.join(tempfile.mkdtemp(prefix="fmm_scrape_"), "fmm.sock")
+    daemon = subprocess.Popen(
+        [fmmio, "serve", "--socket", sock, "--threads", "2",
+         "--slow-ms", "0"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    try:
+        for _ in range(100):
+            if os.path.exists(sock):
+                break
+            time.sleep(0.05)
+        else:
+            fail("daemon never bound %s" % sock)
+
+        # Populate: cold+warm simulate (miss then hit), bound, liveness.
+        for query in (
+                ["--op", "simulate", "--alg", "strassen", "--n", "16",
+                 "--m", "64"],
+                ["--op", "simulate", "--alg", "strassen", "--n", "16",
+                 "--m", "64"],
+                ["--op", "bound", "--n", "1024", "--m", "4096"],
+                ["--op", "liveness", "--alg", "winograd", "--n", "8"]):
+            run([fmmio, "query", "--connect", sock] + query)
+
+        samples, buckets = check_exposition(
+            run([fmmio, "metrics", "--connect", sock]))
+
+        for op in ("simulate", "bound", "liveness"):
+            base = "fmm_service_latency_" + op
+            if base not in buckets:
+                fail("no latency histogram for op %r" % op)
+            count = samples[base + "_count"]
+            if count < 1:
+                fail("%s count is %s" % (base, count))
+            for p in (0.50, 0.99):
+                if percentile(buckets[base], count, p) is None:
+                    fail("%s p%d not derivable" % (base, int(p * 100)))
+        if samples["fmm_service_latency_simulate_count"] != 2:
+            fail("expected 2 simulate samples, got %s"
+                 % samples["fmm_service_latency_simulate_count"])
+
+        # tail: NDJSON spans with populated phase breakdowns.
+        spans = [json.loads(line) for line in
+                 run([fmmio, "tail", "--connect", sock]).splitlines()]
+        if len(spans) < 4:
+            fail("expected >= 4 tail spans, got %d" % len(spans))
+        by_verdict = {}
+        for span in spans:
+            phases = span["phases_ns"]
+            if sum(phases.values()) > span["total_ns"]:
+                fail("phases exceed total in span %r" % span)
+            by_verdict.setdefault((span["op"], span["cache"]), span)
+        cold = by_verdict.get(("simulate", "miss"))
+        if cold is None:
+            fail("no cold simulate span in tail: %r"
+                 % sorted(by_verdict))
+        if cold["phases_ns"]["cdag_build"] <= 0 or \
+           cold["phases_ns"]["simulate"] <= 0:
+            fail("cold simulate span lacks cdag_build/simulate time: %r"
+                 % cold)
+        if ("simulate", "hit") not in by_verdict:
+            fail("no warm simulate (cache hit) span in tail")
+
+        # slow log: --slow-ms 0 classifies everything as slow.
+        slow = [json.loads(line) for line in
+                run([fmmio, "tail", "--connect", sock,
+                     "--slow"]).splitlines()]
+        if not slow:
+            fail("slow log empty despite --slow-ms 0")
+
+        # The dashboard renders a frame over the same two ops.
+        frame = run([sys.executable, fmm_top, sock, "--once"])
+        if "p99" not in frame or "simulate" not in frame:
+            fail("fmm_top frame missing expected content:\n%s" % frame)
+
+        run([fmmio, "query", "--connect", sock, "--op", "shutdown"])
+        if daemon.wait(timeout=30) != 0:
+            fail("daemon exit code %d: %s"
+                 % (daemon.returncode, daemon.stderr.read()))
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+    print("scrape_check: OK (%d ops, %d spans, slow log %d)"
+          % (sum(1 for b in buckets if b.startswith("fmm_service_latency_")),
+             len(spans), len(slow)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,8 +5,9 @@ Usage: service_smoke.py /path/to/fmmio [report.json]
 
 Starts the daemon as a subprocess, plays a scripted NDJSON session over
 its stdin — control ops, a cold compute request, a byte-identical warm
-duplicate, a liveness pair, an invalid line, stats, shutdown — and
-asserts the protocol contract from the outside:
+duplicate, a liveness pair, an invalid line, stats, a metrics scrape,
+a telemetry tail, shutdown — and asserts the protocol contract from
+the outside:
 
   - exactly one response line per request line, in request order
     (response ids echo the request ids in sequence);
@@ -51,7 +52,9 @@ def main(argv):
         '{"id": 7, "op": "liveness", "algorithm": "winograd", "n": 8}',
         'this is not json',
         '{"id": 8, "op": "stats"}',
-        '{"id": 9, "op": "shutdown"}',
+        '{"id": 9, "op": "metrics"}',
+        '{"id": 10, "op": "tail", "limit": 4}',
+        '{"id": 11, "op": "shutdown"}',
     ]
 
     cmd = [fmmio, "serve", "--threads", "2"]
@@ -76,7 +79,7 @@ def main(argv):
     if len(lines) == len(requests):
         # Responses arrive in request order; ids echo the requests (the
         # invalid line answers with id null, still in position).
-        want_ids = [1, 2, 3, 4, 5, 6, 7, None, 8, 9]
+        want_ids = [1, 2, 3, 4, 5, 6, 7, None, 8, 9, 10, 11]
         for i, (line, want) in enumerate(zip(lines, want_ids)):
             try:
                 doc = json.loads(line)
@@ -110,8 +113,28 @@ def main(argv):
         except (json.JSONDecodeError, KeyError, TypeError) as exc:
             check(False, f"stats response malformed ({exc}): {lines[8]}")
 
-        check('"draining": true' in lines[9],
-              f"shutdown not acknowledged: {lines[9]}")
+        # metrics answers with a parseable Prometheus exposition; tail
+        # answers with the telemetry ring envelope (both are point-in-
+        # time control ops, so record counts are not asserted here —
+        # scrape_check.py covers the settled-state contract).
+        try:
+            metrics = json.loads(lines[9])["result"]
+            check(metrics.get("format") == "prometheus-0.0.4",
+                  f"metrics format wrong: {lines[9][:120]}")
+            check("# TYPE " in metrics.get("exposition", ""),
+                  "metrics exposition has no TYPE lines")
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            check(False, f"metrics response malformed ({exc}): {lines[9]}")
+        try:
+            tail = json.loads(lines[10])["result"]
+            check(tail["ring_capacity"] >= 1 and "recent" in tail and
+                  "slow" in tail,
+                  f"tail envelope malformed: {lines[10][:120]}")
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            check(False, f"tail response malformed ({exc}): {lines[10]}")
+
+        check('"draining": true' in lines[11],
+              f"shutdown not acknowledged: {lines[11]}")
 
     if report_path:
         # The post-drain report settles what the mid-session stats row
