@@ -8,16 +8,27 @@
 //      cores the bench prints the hardware limit and the numbers are
 //      informational).
 //
+// A second arm runs the same ladder over the file-loaded Laderman
+// ⟨3,3,3;23⟩ scheme (schemes/laderman_333_23.json) — the registry path
+// the 2x2 catalog never exercises: base-3 n-grid, file-resolved CDAGs,
+// ω0 = log₃23.
+//
 // `bench_sweep --out report.json` writes a versioned run report whose
 // extra.sweep section is the (thread-count-independent) sweep payload.
+// Every run also writes BENCH_sweep.json — a perf-trajectory baseline
+// (schema fmm.bench_trajectory) for cross-PR diffing, next to
+// bench_service's BENCH_service.json.  --bench-out overrides the path.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/table.hpp"
 #include "common/timing.hpp"
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
@@ -27,6 +38,21 @@ int main(int argc, char** argv) {
   using namespace fmm;
 
   const obs::ReportCli cli = obs::parse_report_cli(argc, argv);
+#ifdef FMM_SOURCE_ROOT
+  std::string bench_out =
+      std::string(FMM_SOURCE_ROOT) + "/BENCH_sweep.json";
+  const std::string laderman_key =
+      std::string("file:") + FMM_SOURCE_ROOT +
+      "/schemes/laderman_333_23.json";
+#else
+  std::string bench_out = "BENCH_sweep.json";
+  const std::string laderman_key = "file:schemes/laderman_333_23.json";
+#endif
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--bench-out") {
+      bench_out = argv[i + 1];
+    }
+  }
   obs::enable_tracing_if_available();
 
   sweep::SweepSpec spec;
@@ -87,6 +113,83 @@ int main(int argc, char** argv) {
                 "speedup cannot manifest on this machine; the "
                 "determinism check above is still binding.\n",
                 hardware);
+  }
+
+  // Laderman arm: the same engine driven by a file-loaded base-3
+  // scheme.  Determinism across thread counts must hold here too.
+  sweep::SweepSpec laderman;
+  laderman.algorithms = {laderman_key};
+  laderman.n_grid = {3, 9, 27};
+  laderman.m_grid = {16, 64};
+  laderman.kinds = {sweep::TaskKind::kSimulate,
+                    sweep::TaskKind::kBoundCheck};
+  laderman.schedule = sweep::SchedulePolicy::kRandom;
+  laderman.base_seed = cli.seed;
+  const bilinear::SchemeTraits laderman_traits =
+      sweep::resolve_traits(laderman_key);
+  std::printf("\n--- Laderman arm: <3,3,3;23> from %s (omega0=%s, "
+              "fingerprint %s) ---\n",
+              laderman_key.c_str(),
+              format_double(laderman_traits.omega0).c_str(),
+              laderman_traits.fingerprint.c_str());
+  double laderman_serial = 0.0;
+  double laderman_4t = 0.0;
+  for (const std::size_t threads : {1u, 4u}) {
+    obs::Registry::instance().reset();
+    laderman.num_threads = threads;
+    const sweep::SweepResult result = sweep::run_sweep(laderman);
+    static std::string laderman_reference;
+    const std::string json = result.to_json();
+    if (threads == 1) {
+      laderman_reference = json;
+      laderman_serial = result.wall_seconds;
+    } else if (json != laderman_reference) {
+      std::fprintf(stderr,
+                   "FATAL: Laderman sweep report diverged at %zu "
+                   "threads — determinism contract broken\n",
+                   threads);
+      return 1;
+    } else {
+      laderman_4t = result.wall_seconds;
+    }
+    std::printf("laderman %zu thread(s): %s s (%s tasks/s)\n", threads,
+                format_double(result.wall_seconds).c_str(),
+                format_double(static_cast<double>(result.num_tasks) /
+                              result.wall_seconds)
+                    .c_str());
+  }
+
+  // Perf-trajectory baseline for cross-PR diffing (both arms).
+  {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"fmm.bench_trajectory\",\n";
+    os << "  \"schema_version\": 1,\n";
+    os << "  \"experiment\": \"S1 sweep engine scaling\",\n";
+    os << "  \"build\": " << obs::build_info_json() << ",\n";
+    os << "  \"hardware_threads\": " << hardware << ",\n";
+    os << "  \"arms\": {\n";
+    os << "    \"strassen\": {\"tasks\": 36, \"serial_s\": "
+       << serial_seconds << ", \"threads_2_s\": " << seconds_at[2]
+       << ", \"threads_4_s\": " << seconds_at[4]
+       << ", \"threads_8_s\": " << seconds_at[8]
+       << ", \"speedup_4t\": " << speedup_4 << "},\n";
+    os << "    \"laderman\": {\"tasks\": 12, \"serial_s\": "
+       << laderman_serial << ", \"threads_4_s\": " << laderman_4t
+       << ", \"speedup_4t\": "
+       << (laderman_4t > 0.0 ? laderman_serial / laderman_4t : 0.0)
+       << ", \"omega0\": " << laderman_traits.omega0
+       << ", \"scheme_fingerprint\": \"" << laderman_traits.fingerprint
+       << "\"}\n";
+    os << "  }\n";
+    os << "}\n";
+    std::ofstream out(bench_out);
+    out << os.str();
+    if (!out) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", bench_out.c_str());
+      return 1;
+    }
+    std::printf("wrote perf trajectory to %s\n", bench_out.c_str());
   }
 
   if (cli.wants_report() || !cli.trace_path.empty()) {

@@ -2,7 +2,7 @@
 //
 //   fmmio list
 //   fmmio certify  <algorithm> [--out report.json]
-//   fmmio bounds   --n N --m M [--p P]
+//   fmmio bounds   --n N --m M [--p P] [--alg A]
 //   fmmio simulate <algorithm> --n N --m M [--schedule dfs|bfs|random]
 //                  [--policy lru|opt] [--remat] [--write-cost W]
 //                  [--out report.json] [--trace trace.json]
@@ -28,12 +28,18 @@
 //                  [--remat] [--seed S] [--connect SOCKET] [--print]
 //   fmmio metrics  [--connect SOCKET]
 //   fmmio tail     --connect SOCKET [--limit N] [--slow]
+//   fmmio scheme   verify <name-or-file> [...] | export <name>
+//                  [--name NEWNAME] [--out scheme.json]
 //   fmmio version
 //
-// Algorithms: strassen, winograd, strassen-dual, strassen-perm,
-//             winograd-dual, classic; `sweep` additionally accepts
-//             strassen-squared and the alternative-basis variants
-//             strassen-alt / winograd-alt (docs/SWEEPS.md).
+// Algorithms: any scheme registry key (docs/SCHEMES.md) — the catalog
+//             (strassen, winograd, strassen-dual, strassen-perm,
+//             winograd-dual, classic, classic-<n>x<m>x<p>,
+//             strassen-squared), the alternative-basis variants
+//             strassen-alt / winograd-alt (docs/SWEEPS.md), or
+//             `file:scheme.json` naming an fmm.scheme file, loaded and
+//             Brent-verified on first use.  `fmmio scheme` verifies and
+//             exports such files.
 //
 // `serve` answers newline-delimited JSON queries on stdin (or a Unix
 // socket) through a content-addressed CDAG/result cache; `query`
@@ -50,6 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -150,6 +157,16 @@ bool is_power_of_two(std::int64_t v) {
   return v >= 1 && (v & (v - 1)) == 0;
 }
 
+bool is_power_of(std::int64_t v, std::int64_t base) {
+  if (v < 1 || base < 2) {
+    return false;
+  }
+  while (v % base == 0) {
+    v /= base;
+  }
+  return v == 1;
+}
+
 bool is_power_of_seven(std::int64_t v) {
   if (v < 1) {
     return false;
@@ -171,6 +188,30 @@ std::int64_t require_pow2_n(const Args& args, std::int64_t fallback,
   return n;
 }
 
+/// --n for scheme-recursive commands: positive power of the scheme's
+/// base dim.  When --n is omitted and the power-of-two fallback does
+/// not fit the scheme (base 3 and up), base² is used instead.
+std::int64_t require_base_n(const Args& args, std::int64_t fallback,
+                            const char* command,
+                            const bilinear::SchemeTraits& traits) {
+  if (traits.base < 2) {
+    usage_error(std::string(command) + ": scheme '" + traits.name +
+                "' is rectangular; the recursive n x n construction needs "
+                "a square base scheme");
+  }
+  const auto base = static_cast<std::int64_t>(traits.base);
+  std::int64_t n = args.get_int("n", fallback);
+  if (!args.has("n") && !is_power_of(n, base)) {
+    n = base * base;
+  }
+  if (!is_power_of(n, base)) {
+    usage_error(std::string(command) + ": --n must be a power of the "
+                "scheme's base dim " + std::to_string(base) + ", got " +
+                std::to_string(n));
+  }
+  return n;
+}
+
 /// --m for cache-size commands: strictly positive.
 std::int64_t require_positive_m(const Args& args, std::int64_t fallback,
                                 const char* command) {
@@ -182,15 +223,25 @@ std::int64_t require_positive_m(const Args& args, std::int64_t fallback,
   return m;
 }
 
+/// Registry-backed algorithm lookup (catalog names, classic-NxMxP,
+/// -alt variants, file:scheme.json).  Unknown names and invalid scheme
+/// files are one-line usage errors, not CheckError stack traces.
 bilinear::BilinearAlgorithm pick(const std::string& name) {
-  if (name == "strassen") return bilinear::strassen();
-  if (name == "winograd") return bilinear::winograd();
-  if (name == "strassen-dual") return bilinear::strassen_transposed();
-  if (name == "strassen-perm") return bilinear::strassen_permuted();
-  if (name == "winograd-dual") return bilinear::winograd_transposed();
-  if (name == "classic") return bilinear::classic(2, 2, 2);
-  FMM_LOG_ERROR("unknown algorithm '" << name << "'; try `fmmio list`");
-  std::exit(2);
+  try {
+    return sweep::resolve_algorithm(name);
+  } catch (const CheckError& e) {
+    usage_error(e.what());
+  }
+}
+
+/// The resolved scheme's traits (base dim, rank, ω0, fingerprint) with
+/// the same unknown-name behavior as pick().
+bilinear::SchemeTraits pick_traits(const std::string& name) {
+  try {
+    return sweep::resolve_traits(name);
+  } catch (const CheckError& e) {
+    usage_error(e.what());
+  }
 }
 
 /// Report/trace plumbing shared by subcommands: reads --out/--trace/
@@ -241,7 +292,10 @@ int cmd_certify(const Args& args) {
   const obs::ReportCli cli = report_cli_from(args);
   obs::Registry::instance().reset();
   const auto alg = pick(args.positional[1]);
+  const bilinear::SchemeTraits traits = pick_traits(args.positional[1]);
   std::printf("Certifying %s\n", alg.name().c_str());
+  std::printf("  Scheme: <%zu,%zu,%zu;%zu>  fingerprint %s\n", traits.n,
+              traits.m, traits.p, traits.rank, traits.fingerprint.c_str());
   std::printf("  Brent equations:        %s\n",
               alg.is_valid() ? "PASS" : "FAIL");
   if (alg.n() * alg.m() == 4) {
@@ -257,18 +311,33 @@ int cmd_certify(const Args& args) {
     std::printf("  Hopcroft-Kerr sets:     %s\n",
                 hk.pass ? "PASS" : "FAIL");
   }
-  const std::size_t n = 8;
-  const cdag::Cdag cdag = cdag::build_cdag(alg, n);
-  Rng rng(1);
-  const auto dom = bounds::certify_dominator_bound(
-      cdag, 2, 5, bounds::ZChoice::kUniformRandom, rng);
-  std::printf("  Lemma 3.7 (H^{8x8}):    %s (worst ratio %.2f)\n",
-              dom.all_hold ? "PASS" : "FAIL", dom.worst_ratio);
+  bool dom_checked = false;
+  bool dom_all_hold = false;
+  double dom_worst_ratio = 0.0;
+  if (traits.base >= 2) {
+    // Three recursion levels of the scheme's own base dim (8 for 2x2
+    // schemes, 27 for 3x3) — rectangular bases have no H^{n x n}.
+    const std::size_t n = traits.base * traits.base * traits.base;
+    const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+    Rng rng(1);
+    const auto dom = bounds::certify_dominator_bound(
+        cdag, 2, 5, bounds::ZChoice::kUniformRandom, rng);
+    dom_checked = true;
+    dom_all_hold = dom.all_hold;
+    dom_worst_ratio = dom.worst_ratio;
+    std::printf("  Lemma 3.7 (H^{%zux%zu}):    %s (worst ratio %.2f)\n", n, n,
+                dom.all_hold ? "PASS" : "FAIL", dom.worst_ratio);
+  } else {
+    std::printf("  Lemma 3.7:              skipped (rectangular base)\n");
+  }
   if (cli.wants_report() || !cli.trace_path.empty()) {
     obs::RunReport report("fmmio.certify");
     bounds::certify_algorithm(alg).attach_to(report);
-    report.set_result("dominator_lemma37", dom.all_hold);
-    report.set_result("dominator_worst_ratio", dom.worst_ratio);
+    report.set_param("scheme_fingerprint", traits.fingerprint);
+    if (dom_checked) {
+      report.set_result("dominator_lemma37", dom_all_hold);
+      report.set_result("dominator_worst_ratio", dom_worst_ratio);
+    }
     obs::finalize_run(cli, report);
   }
   return 0;
@@ -282,21 +351,28 @@ int cmd_bounds(const Args& args) {
   const double n = static_cast<double>(args.get_int("n", 4096));
   const double m = static_cast<double>(args.get_int("m", 4096));
   const double p = static_cast<double>(args.get_int("p", 1));
+  const std::string alg = args.get("alg", "strassen");
+  const bilinear::SchemeTraits traits = pick_traits(alg);
+  if (traits.base < 2) {
+    usage_error("bounds: scheme '" + traits.name + "' is rectangular; the "
+                "square fast-MM bounds need a square base scheme");
+  }
   const bounds::MmParams params{n, m, p};
-  std::printf("Lower bounds at n=%g, M=%g, P=%g:\n", n, m, p);
+  std::printf("Lower bounds at n=%g, M=%g, P=%g (%s, omega0=%s):\n", n, m,
+              p, traits.name.c_str(), format_double(traits.omega0).c_str());
   std::printf("  classic  mem-dep:   %.4g\n",
               bounds::classic_memory_dependent(params));
   std::printf("  classic  mem-indep: %.4g\n",
               bounds::classic_memory_independent(params));
-  std::printf("  fast2x2  mem-dep:   %.4g   (holds with recomputation)\n",
-              bounds::fast_memory_dependent(params, kOmega0));
-  std::printf("  fast2x2  mem-indep: %.4g   (holds with recomputation)\n",
-              bounds::fast_memory_independent(params, kOmega0));
-  std::printf("  fast2x2  parallel:  %.4g   (Theorem 1.1 max{})\n",
-              bounds::fast_parallel_bound(params, kOmega0));
+  std::printf("  fast     mem-dep:   %.4g   (holds with recomputation)\n",
+              bounds::fast_memory_dependent(params, traits));
+  std::printf("  fast     mem-indep: %.4g   (holds with recomputation)\n",
+              bounds::fast_memory_independent(params, traits));
+  std::printf("  fast     parallel:  %.4g   (Theorem 1.1 max{})\n",
+              bounds::fast_parallel_bound(params, traits));
   if (p > 1) {
     std::printf("  crossover P*:       %.4g\n",
-                bounds::parallel_crossover_p(n, m, kOmega0));
+                bounds::parallel_crossover_p(n, m, traits.omega0));
   }
   return 0;
 }
@@ -309,8 +385,9 @@ int cmd_simulate(const Args& args) {
   const obs::ReportCli cli = report_cli_from(args);
   obs::Registry::instance().reset();
   const auto alg = pick(args.positional[1]);
+  const bilinear::SchemeTraits traits = pick_traits(args.positional[1]);
   const auto n =
-      static_cast<std::size_t>(require_pow2_n(args, 16, "simulate"));
+      static_cast<std::size_t>(require_base_n(args, 16, "simulate", traits));
   const std::int64_t m = require_positive_m(args, 64, "simulate");
   const std::string schedule_kind = args.get("schedule", "dfs");
   if (schedule_kind != "dfs" && schedule_kind != "bfs" &&
@@ -348,8 +425,7 @@ int cmd_simulate(const Args& args) {
   }
 
   const double bound = bounds::fast_memory_dependent(
-      {static_cast<double>(n), static_cast<double>(m), 1},
-      alg.num_products() == 8 ? 3.0 : kOmega0);
+      {static_cast<double>(n), static_cast<double>(m), 1}, traits);
   std::printf("%s on H^{%zux%zu}, M=%lld, schedule=%s%s\n",
               alg.name().c_str(), n, n, static_cast<long long>(m),
               schedule_kind.c_str(), args.has("remat") ? " + remat" : "");
@@ -385,6 +461,8 @@ int cmd_simulate(const Args& args) {
   if (cli.wants_report() || !cli.trace_path.empty()) {
     obs::RunReport report("fmmio.simulate");
     report.set_param("algorithm", alg.name());
+    report.set_param("scheme_fingerprint", traits.fingerprint);
+    report.set_param("omega0", format_double(traits.omega0));
     report.set_param("n", static_cast<std::int64_t>(n));
     report.set_param("m", m);
     report.set_param("schedule", schedule_kind);
@@ -416,7 +494,9 @@ int cmd_cdag(const Args& args) {
     return 2;
   }
   const auto alg = pick(args.positional[1]);
-  const auto n = static_cast<std::size_t>(require_pow2_n(args, 4, "cdag"));
+  const bilinear::SchemeTraits traits = pick_traits(args.positional[1]);
+  const auto n =
+      static_cast<std::size_t>(require_base_n(args, 4, "cdag", traits));
   const cdag::Cdag cdag = cdag::build_cdag(alg, n);
   if (args.has("dot")) {
     // Large CDAGs render to unusable multi-GB DOT; require --force.
@@ -647,9 +727,8 @@ int cmd_sweep(const Args& args) {
   spec.algorithms = split_csv(args.get("alg", ""));
   for (const std::string& n : split_csv(args.get("n", ""))) {
     const std::int64_t value = std::atoll(n.c_str());
-    if (!is_power_of_two(value)) {
-      usage_error("sweep: every --n must be a positive power of two, "
-                  "got '" + n + "'");
+    if (value < 1) {
+      usage_error("sweep: every --n must be >= 1, got '" + n + "'");
     }
     spec.n_grid.push_back(static_cast<std::size_t>(value));
   }
@@ -664,6 +743,25 @@ int cmd_sweep(const Args& args) {
   if (spec.algorithms.empty() || spec.n_grid.empty() ||
       spec.m_grid.empty()) {
     usage_error("sweep: --alg, --n and --m all need at least one value");
+  }
+  // Every algorithm must resolve (unknown names / invalid scheme files
+  // are usage errors, not mid-sweep failures) and every n must be a
+  // power of every resolved scheme's base dim.
+  for (const std::string& alg : spec.algorithms) {
+    const bilinear::SchemeTraits traits = pick_traits(alg);
+    if (traits.base < 2) {
+      usage_error("sweep: scheme '" + traits.name + "' (--alg " + alg +
+                  ") is rectangular; the recursive n x n construction "
+                  "needs a square base scheme");
+    }
+    for (const std::size_t n : spec.n_grid) {
+      if (!is_power_of(static_cast<std::int64_t>(n),
+                       static_cast<std::int64_t>(traits.base))) {
+        usage_error("sweep: every --n must be a power of the scheme's "
+                    "base dim " + std::to_string(traits.base) + " (--alg " +
+                    alg + "), got " + std::to_string(n));
+      }
+    }
   }
   if (args.has("kinds")) {
     spec.kinds.clear();
@@ -1142,6 +1240,93 @@ int cmd_tail(const Args& args) {
 #endif
 }
 
+/// A scheme from a verify/export target.  `file:<path>` and anything
+/// that looks like a path (contains '/' or ends in .json) load an
+/// fmm.scheme file; everything else goes through the registry.  Either
+/// way the result has passed Brent verification.
+bilinear::Scheme scheme_from_target(const std::string& target) {
+  std::string path = target;
+  bool is_file = bilinear::SchemeRegistry::is_file_key(target);
+  if (is_file) {
+    path = target.substr(5);
+  } else if (target.find('/') != std::string::npos ||
+             (target.size() > 5 &&
+              target.compare(target.size() - 5, 5, ".json") == 0)) {
+    is_file = true;
+  }
+  if (is_file) {
+    return bilinear::load_scheme_file(path);
+  }
+  bilinear::Scheme scheme =
+      bilinear::scheme_from_algorithm(sweep::resolve_algorithm(target));
+  if (const auto violation = bilinear::verify_scheme(scheme)) {
+    throw CheckError("scheme '" + target + "': " + *violation);
+  }
+  return scheme;
+}
+
+int cmd_scheme(const Args& args) {
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: fmmio scheme verify <name-or-file> [...]\n"
+                 "       fmmio scheme export <name> [--name NEWNAME] "
+                 "[--out scheme.json]\n");
+    return 2;
+  };
+  if (args.positional.size() < 3) {
+    return usage();
+  }
+  const std::string& action = args.positional[1];
+  if (action == "verify") {
+    bool all_ok = true;
+    for (std::size_t i = 2; i < args.positional.size(); ++i) {
+      const std::string& target = args.positional[i];
+      try {
+        const bilinear::Scheme scheme = scheme_from_target(target);
+        const bilinear::SchemeTraits traits = bilinear::traits_of(scheme);
+        std::printf(
+            "%s: PASS  <%zu,%zu,%zu;%zu>  fingerprint=%s  omega0=%s  "
+            "row-weights enc=%zu dec=%zu\n",
+            target.c_str(), traits.n, traits.m, traits.p, traits.rank,
+            traits.fingerprint.c_str(),
+            traits.base >= 2 ? format_double(traits.omega0).c_str() : "-",
+            traits.max_encoder_row_weight, traits.max_decoder_row_weight);
+      } catch (const CheckError& e) {
+        all_ok = false;
+        std::printf("%s: FAIL  %s\n", target.c_str(), e.what());
+      }
+    }
+    return all_ok ? 0 : 1;
+  }
+  if (action == "export") {
+    bilinear::Scheme scheme;
+    try {
+      scheme = scheme_from_target(args.positional[2]);
+    } catch (const CheckError& e) {
+      usage_error(std::string("scheme export: ") + e.what());
+    }
+    if (args.has("name")) {
+      scheme.name = args.get("name", scheme.name);
+    }
+    const std::string json = bilinear::scheme_to_json(scheme);
+    const std::string out = args.get("out", "");
+    if (out.empty()) {
+      std::printf("%s\n", json.c_str());
+      return 0;
+    }
+    std::ofstream file(out, std::ios::binary);
+    file << json << "\n";
+    if (!file.good()) {
+      usage_error("scheme export: cannot write '" + out + "'");
+    }
+    file.close();
+    std::printf("wrote %s (fingerprint %s)\n", out.c_str(),
+                bilinear::scheme_fingerprint(scheme).c_str());
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1153,7 +1338,7 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: fmmio <list|certify|bounds|simulate|cdag|parallel|"
-                 "sweep|serve|query|metrics|tail|version> [args]\n");
+                 "sweep|serve|query|metrics|tail|scheme|version> [args]\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -1169,6 +1354,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(args);
     if (command == "metrics") return cmd_metrics(args);
     if (command == "tail") return cmd_tail(args);
+    if (command == "scheme") return cmd_scheme(args);
     if (command == "version") {
       std::printf("%s\n", obs::build_info_line().c_str());
       return 0;

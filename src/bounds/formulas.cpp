@@ -12,6 +12,17 @@ namespace {
 void check_params(const MmParams& params) {
   FMM_CHECK(params.n >= 1 && params.m >= 1 && params.p >= 1);
 }
+
+/// The derived exponent of a square scheme; rectangular schemes have no
+/// square recursion and therefore no Theorem 1.1 bound.
+double omega0_of(const bilinear::SchemeTraits& traits) {
+  FMM_CHECK_MSG(traits.base != 0,
+                "bounds: scheme '" << traits.name
+                                   << "' is rectangular (base 0); the "
+                                      "square fast-MM bounds need a "
+                                      "square base scheme");
+  return traits.omega0;
+}
 }  // namespace
 
 MmParams mm_params_from_ints(std::int64_t n, std::int64_t m,
@@ -56,6 +67,21 @@ double fast_parallel_bound(const MmParams& params, double omega0) {
                   fast_memory_independent(params, omega0));
 }
 
+double fast_memory_dependent(const MmParams& params,
+                             const bilinear::SchemeTraits& traits) {
+  return fast_memory_dependent(params, omega0_of(traits));
+}
+
+double fast_memory_independent(const MmParams& params,
+                               const bilinear::SchemeTraits& traits) {
+  return fast_memory_independent(params, omega0_of(traits));
+}
+
+double fast_parallel_bound(const MmParams& params,
+                           const bilinear::SchemeTraits& traits) {
+  return fast_parallel_bound(params, omega0_of(traits));
+}
+
 double parallel_crossover_p(double n, double m, double omega0) {
   FMM_CHECK(n >= 1 && m >= 1 && omega0 > 2.0);
   // Solve (n/√M)^ω · M / P = n² / P^{2/ω} for P:
@@ -88,6 +114,23 @@ double fast_flops(double n, double base_linear_ops) {
   FMM_CHECK(n >= 1 && base_linear_ops >= 0);
   const double coef = 1.0 + base_linear_ops / 3.0;
   return coef * fpow(n, kOmega0) - (coef - 1.0) * n * n;
+}
+
+double fast_flops(double n, double base_linear_ops,
+                  const bilinear::SchemeTraits& traits) {
+  FMM_CHECK(n >= 1 && base_linear_ops >= 0);
+  const double omega0 = omega0_of(traits);
+  const double base_sq =
+      static_cast<double>(traits.base) * static_cast<double>(traits.base);
+  FMM_CHECK_MSG(static_cast<double>(traits.rank) > base_sq,
+                "bounds: scheme '" << traits.name << "' has rank "
+                                   << traits.rank << " <= base^2 = "
+                                   << base_sq
+                                   << "; the fast-flops recurrence needs "
+                                      "rank > base^2");
+  const double ratio =
+      base_linear_ops / (static_cast<double>(traits.rank) - base_sq);
+  return (1.0 + ratio) * fpow(n, omega0) - ratio * n * n;
 }
 
 }  // namespace fmm::bounds

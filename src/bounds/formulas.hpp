@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "bilinear/scheme.hpp"
+
 namespace fmm::bounds {
 
 /// Parameters shared by the matrix-multiplication bounds.
@@ -49,6 +51,18 @@ double fast_memory_independent(const MmParams& params, double omega0);
 /// The parallel bound of Theorem 1.1: max of the two bounds above.
 double fast_parallel_bound(const MmParams& params, double omega0);
 
+// SchemeTraits overloads: the bounds of any square base scheme, keyed by
+// its derived exponent ω0 = log_base(rank) instead of a loose double.
+// All three throw CheckError for rectangular schemes (base == 0), whose
+// recursive square bound is not defined.
+
+double fast_memory_dependent(const MmParams& params,
+                             const bilinear::SchemeTraits& traits);
+double fast_memory_independent(const MmParams& params,
+                               const bilinear::SchemeTraits& traits);
+double fast_parallel_bound(const MmParams& params,
+                           const bilinear::SchemeTraits& traits);
+
 /// The processor count at which the memory-independent bound overtakes
 /// the memory-dependent one: P* = (n/√M)^{ω0} · M^{... } solved exactly:
 /// equality (n/√M)^{ω0}·M/P = n²/P^{2/ω0}.
@@ -75,5 +89,12 @@ double fft_memory_independent(double n, double procs);
 /// run to scalar granularity on an n x n input (n a power of two):
 /// (1 + L/3) n^{log2 7} - (L/3) n^2.
 double fast_flops(double n, double base_linear_ops);
+
+/// General square base ⟨b,b,b;t⟩: the recurrence F(n) = t·F(n/b) +
+/// L·(n/b)² solves to (1 + L/(t-b²)) n^{ω0} - (L/(t-b²)) n² — the 2x2
+/// formula is the t=7, b=2 special case.  Requires a square scheme with
+/// rank > base² (a genuinely fast exponent).
+double fast_flops(double n, double base_linear_ops,
+                  const bilinear::SchemeTraits& traits);
 
 }  // namespace fmm::bounds

@@ -33,10 +33,6 @@ void json_escape(std::ostream& os, const std::string& s) {
   throw ProtocolError("usage_error: " + message);
 }
 
-bool is_power_of_two(std::int64_t v) {
-  return v >= 1 && (v & (v - 1)) == 0;
-}
-
 Op op_from_name(const std::string& name) {
   if (name == "ping") return Op::kPing;
   if (name == "version") return Op::kVersion;
@@ -212,22 +208,17 @@ Request parse_request(const std::string& line) {
         usage("bound needs n and m");
       }
       break;
+    // n's divisibility constraint depends on the scheme's base dim,
+    // which only the service knows after resolving the algorithm —
+    // power-of-base validation happens there (still a usage_error).
     case Op::kSimulate:
       if (request.n == 0 || request.m == 0) {
         usage("simulate needs n and m");
-      }
-      if (!is_power_of_two(static_cast<std::int64_t>(request.n))) {
-        usage("simulate: n must be a power of two, got " +
-              std::to_string(request.n));
       }
       break;
     case Op::kLiveness:
       if (request.n == 0) {
         usage("liveness needs n");
-      }
-      if (!is_power_of_two(static_cast<std::int64_t>(request.n))) {
-        usage("liveness: n must be a power of two, got " +
-              std::to_string(request.n));
       }
       if (request.m == 0) {
         request.m = 1;  // liveness ignores M; the task row still has one
@@ -236,10 +227,6 @@ Request parse_request(const std::string& line) {
     case Op::kCdag:
       if (request.n == 0) {
         usage("cdag needs n");
-      }
-      if (!is_power_of_two(static_cast<std::int64_t>(request.n))) {
-        usage("cdag: n must be a power of two, got " +
-              std::to_string(request.n));
       }
       break;
     case Op::kPing:

@@ -28,6 +28,13 @@
 //   shutdown  — graceful drain: in-flight requests finish and are
 //               answered, then the session ends.
 //
+// The "algorithm" field of simulate/liveness/cdag takes any scheme
+// registry key: catalog names ("strassen", "winograd-dual",
+// "classic-<n>x<m>x<p>", ...) or "file:<path>" naming an fmm.scheme
+// JSON file, loaded and Brent-verified on first use.  A name and a
+// scheme file resolving to the same fingerprint are the same query:
+// they share cache entries and answer with byte-identical responses.
+//
 // Responses:  {"id": 4, "ok": true, "op": "simulate", "result": {...}}
 //         or  {"id": 4, "ok": false, "error": "usage_error: ..."}
 // (id is null when the request had none or did not parse).  Error
@@ -91,7 +98,10 @@ class ProtocolError : public std::runtime_error {
 
 /// Parses and validates one request line; throws ProtocolError with a
 /// one-line usage_error message on any problem (unknown op or field,
-/// non-power-of-two n, missing required field, trailing garbage).
+/// missing required field, trailing garbage).  Scheme-dependent shape
+/// constraints — unknown algorithm, n not a power of the scheme's base
+/// dim — are validated by the service after resolving the algorithm,
+/// and also answer as usage_error.
 Request parse_request(const std::string& line);
 
 /// The canonical JSON echo of a request: deterministic field order,

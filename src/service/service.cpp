@@ -71,6 +71,38 @@ void json_escape(std::ostream& os, const std::string& s) {
   }
 }
 
+/// True iff n == base^k for some k >= 0 (base >= 2).
+bool is_power_of_base(std::size_t n, std::size_t base) {
+  if (n < 1 || base < 2) {
+    return false;
+  }
+  while (n % base == 0) {
+    n /= base;
+  }
+  return n == 1;
+}
+
+/// The canonical algorithm key of a request: when a "file:<path>" (or
+/// alias) key denotes the very same scheme as its declared name —
+/// fingerprints equal — the name wins, so name- and file-resolved
+/// requests share result/CDAG cache entries and answer with
+/// byte-identical bytes.  Distinct schemes keep their original key.
+std::string canonical_algorithm_key(const std::string& key) {
+  const bilinear::SchemeTraits traits = sweep::resolve_traits(key);
+  if (key == traits.name) {
+    return key;
+  }
+  try {
+    if (sweep::resolve_traits(traits.name).fingerprint ==
+        traits.fingerprint) {
+      return traits.name;
+    }
+  } catch (const std::exception&) {
+    // The declared name is not independently resolvable; keep the key.
+  }
+  return key;
+}
+
 obs::TelemetryConfig telemetry_config_from(const ServiceConfig& config) {
   obs::TelemetryConfig tc;
   tc.ring_capacity = config.telemetry_ring;
@@ -107,8 +139,13 @@ void render_telemetry_record(std::ostream& os,
 
 std::shared_ptr<const cdag::Cdag> CachingCdagSource::get_cdag(
     const std::string& algorithm, std::size_t n) {
+  // Content-address the frozen CDAG by the resolved scheme fingerprint,
+  // not the lookup key: "strassen" and an equivalent file:... scheme
+  // share one cached graph.
+  const std::string fingerprint =
+      sweep::resolve_traits(algorithm).fingerprint;
   return cache_.get_or_build_cdag(
-      ContentCache::cdag_key(algorithm, n), [&] {
+      ContentCache::cdag_key("scheme:" + fingerprint, n), [&] {
         return cdag::build_cdag(sweep::resolve_algorithm(algorithm), n);
       });
 }
@@ -140,16 +177,26 @@ void QueryService::record_response(const std::string& op, bool is_ok) {
 }
 
 std::int64_t QueryService::estimated_cost_ticks(
-    const Request& request) const {
+    const Request& request, const bilinear::SchemeTraits& traits) const {
   if (!op_needs_cdag(request.op)) {
     return 1;
   }
-  // Upper bound on |V(H^{n x n})| for base-2 algorithms with t <= 8
-  // products: 8 · 8^{log2 n}.  Purely arithmetic — the verdict for a
-  // (config, request) pair never depends on load or wall-clock.
+  // Upper bound on |V(H^{n x n})|: each recursion level multiplies the
+  // subproblem count by rank and the block count by base³, so
+  // 8 · max(rank, base³)^{log_base n} over-covers the graph — for
+  // Strassen this is the historical 8 · 8^{log2 n}.  Purely arithmetic:
+  // the verdict for a (config, request) pair never depends on load or
+  // wall-clock.
   try {
-    const int levels = ilog2_floor(static_cast<std::uint64_t>(request.n));
-    return checked_mul(checked_pow(8, levels), 8);
+    int levels = 0;
+    std::size_t s = request.n;
+    while (traits.base >= 2 && s >= traits.base) {
+      s /= traits.base;
+      ++levels;
+    }
+    const std::int64_t per_level = static_cast<std::int64_t>(
+        std::max(traits.rank, traits.base * traits.base * traits.base));
+    return checked_mul(checked_pow(per_level, levels), 8);
   } catch (const CheckError&) {
     return std::numeric_limits<std::int64_t>::max();
   }
@@ -246,8 +293,39 @@ std::optional<std::string> QueryService::pre_compute_response(
   if (!op_is_cacheable(request.op)) {
     return control_response(request);
   }
+  // Scheme-dependent validation: resolve the algorithm (catalog name or
+  // file:<path>, Brent-verified on first load) and check n against the
+  // scheme's base dim.  Failures answer as one-line usage_error.
+  bilinear::SchemeTraits traits;
+  if (op_needs_cdag(request.op)) {
+    std::string problem;
+    try {
+      traits = sweep::resolve_traits(request.algorithm);
+      if (traits.base == 0) {
+        problem = std::string(op_name(request.op)) + ": scheme '" +
+                  traits.name +
+                  "' is rectangular; the recursive n x n construction "
+                  "needs a square base scheme";
+      } else if (!is_power_of_base(request.n, traits.base)) {
+        problem = std::string(op_name(request.op)) +
+                  ": n must be a power of the scheme's base dim " +
+                  std::to_string(traits.base) + ", got " +
+                  std::to_string(request.n);
+      }
+    } catch (const std::exception& e) {
+      problem = e.what();
+    }
+    if (!problem.empty()) {
+      record_response(op_name(request.op), false);
+      if (telemetry != nullptr) {
+        telemetry->ok = false;
+      }
+      return error_response(request.has_id, request.id,
+                            "usage_error: " + problem);
+    }
+  }
   if (config_.deadline_ticks > 0) {
-    const std::int64_t cost = estimated_cost_ticks(request);
+    const std::int64_t cost = estimated_cost_ticks(request, traits);
     if (cost > config_.deadline_ticks) {
       {
         const std::scoped_lock lock(stats_mutex_);
@@ -368,12 +446,20 @@ std::string QueryService::compute_response(
   const Stopwatch run;
   std::string response;
   try {
+    // Normalize the algorithm key first: a file:... request denoting
+    // the same scheme as a registry name collapses onto that name, so
+    // the cache key AND the response bytes are shared (the byte-identity
+    // contract extends to file-loaded schemes).
+    Request normalized = request;
+    if (op_needs_cdag(request.op)) {
+      normalized.algorithm = canonical_algorithm_key(request.algorithm);
+    }
     std::int64_t lookup_ns = 0;
     std::string key;
     std::shared_ptr<const std::string> cached;
     {
       const ScopedNsAccumulator lookup_timer(&lookup_ns);
-      key = ContentCache::result_key(canonical_request(request));
+      key = ContentCache::result_key(canonical_request(normalized));
       cached = cache_.get_payload(key);
     }
     if (telemetry != nullptr) {
@@ -386,7 +472,7 @@ std::string QueryService::compute_response(
       record_response(op_name(request.op), true);
       response = ok_response(request, *cached);
     } else {
-      std::string result = compute_result(request);
+      std::string result = compute_result(normalized);
       cache_.put_payload(key, result);
       if (telemetry != nullptr) {
         telemetry->cache = frame.singleflight_wait_ns > 0

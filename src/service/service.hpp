@@ -16,8 +16,9 @@
 //
 // Deadlines ride the repo's resilience virtual clock philosophy
 // (resilience/retry.hpp): a request's cost is ESTIMATED in deterministic
-// ticks (8·8^log2(n) — an upper bound on the vertex count of H^{n x n}
-// for base-2 algorithms with ≤ 8 products; 1 for closed-form ops) and
+// ticks (8·max(rank, base³)^{log_base n} — an upper bound on the vertex
+// count of H^{n x n} for the resolved scheme, 8·8^{log2 n} for
+// Strassen; 1 for closed-form ops) and
 // compared against deadline_ticks at admission.  No wall-clock is ever
 // consulted, so a given (config, request) pair always gets the same
 // deadline_exceeded verdict — deterministic, testable backpressure.
@@ -175,8 +176,11 @@ class QueryService {
                                obs::RequestTelemetry* telemetry);
   /// Renders the deterministic result object (cache miss path).
   std::string compute_result(const Request& request);
-  /// Deterministic virtual-clock cost estimate of a request.
-  std::int64_t estimated_cost_ticks(const Request& request) const;
+  /// Deterministic virtual-clock cost estimate of a request; `traits`
+  /// describes the resolved scheme for CDAG-shaped ops (ignored for
+  /// closed-form ops, which cost 1 tick).
+  std::int64_t estimated_cost_ticks(
+      const Request& request, const bilinear::SchemeTraits& traits) const;
   /// Everything except pool-dispatched compute: shutdown, control ops
   /// and virtual-clock deadline rejection.  Returns the tallied
   /// response, or nullopt when the request needs compute_response.

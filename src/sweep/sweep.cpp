@@ -158,12 +158,6 @@ void copy_sim_payload(TaskResult& out, const pebble::SimResult& sim) {
   out.recomputations = sim.recomputations;
 }
 
-/// The recursion exponent ω0 = log_base(t) of the cell's algorithm.
-double omega0_of(const bilinear::BilinearAlgorithm& alg) {
-  return std::log(static_cast<double>(alg.num_products())) /
-         std::log(static_cast<double>(alg.n()));
-}
-
 /// "<kind> <algorithm> (n=.., M=..)" — the coordinate prefix every task
 /// error carries.
 std::string cell_prefix(const TaskCell& cell) {
@@ -254,21 +248,37 @@ std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index) {
 }
 
 bilinear::BilinearAlgorithm resolve_algorithm(const std::string& name) {
-  if (name == "strassen") return bilinear::strassen();
-  if (name == "winograd") return bilinear::winograd();
-  if (name == "strassen-dual") return bilinear::strassen_transposed();
-  if (name == "strassen-perm") return bilinear::strassen_permuted();
-  if (name == "winograd-dual") return bilinear::winograd_transposed();
-  if (name == "classic") return bilinear::classic(2, 2, 2);
-  if (name == "strassen-squared") return bilinear::strassen_squared();
+  // The alternative-basis variants run a Karstadt–Schwartz basis search
+  // that lives in altbasis, above bilinear in the layer stack — they
+  // resolve here rather than through the registry.
   if (name == "strassen-alt") {
     return altbasis::make_alternative_basis(bilinear::strassen()).transformed;
   }
   if (name == "winograd-alt") {
     return altbasis::make_alternative_basis(bilinear::winograd()).transformed;
   }
-  FMM_CHECK_MSG(false, "sweep: unknown algorithm '" << name << "'");
-  return bilinear::strassen();  // unreachable
+  // Everything else — catalog names, classic-<n>x<m>x<p>, file:<path>
+  // scheme files — goes through the registry, which throws the
+  // usage-grade CheckError listing the catalog for unknown names (no
+  // silent strassen fallback).
+  return bilinear::SchemeRegistry::instance().resolve(name);
+}
+
+bilinear::SchemeTraits resolve_traits(const std::string& name) {
+  if (name == "strassen-alt" || name == "winograd-alt") {
+    // Cache locally: re-deriving traits would re-run the basis search.
+    static std::mutex alt_mutex;
+    static std::map<std::string, bilinear::SchemeTraits> alt_cache;
+    const std::scoped_lock lock(alt_mutex);
+    if (const auto it = alt_cache.find(name); it != alt_cache.end()) {
+      return it->second;
+    }
+    const bilinear::SchemeTraits traits = bilinear::traits_of(
+        bilinear::scheme_from_algorithm(resolve_algorithm(name)));
+    alt_cache.emplace(name, traits);
+    return traits;
+  }
+  return bilinear::SchemeRegistry::instance().traits(name);
 }
 
 std::vector<TaskCell> enumerate_tasks(const SweepSpec& spec) {
@@ -309,6 +319,13 @@ TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
       frame != nullptr ? &frame->simulate_ns : nullptr);
   Rng rng(cell.seed);
   try {
+    // Scheme identity travels with every row (cached resolution; the
+    // sweep engine and the service both resolve names up front, so this
+    // never does file I/O or a basis search on the task path).
+    const bilinear::SchemeTraits traits = resolve_traits(cell.algorithm);
+    result.scheme_name = traits.name;
+    result.scheme_fingerprint = traits.fingerprint;
+    result.omega0 = traits.omega0;
     switch (cell.kind) {
       case TaskKind::kSimulate: {
         copy_sim_payload(result, run_simulation(cell, cdag, spec, rng));
@@ -338,12 +355,10 @@ TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
       case TaskKind::kBoundCheck: {
         const pebble::SimResult sim = run_simulation(cell, cdag, spec, rng);
         copy_sim_payload(result, sim);
-        const bilinear::BilinearAlgorithm alg =
-            resolve_algorithm(cell.algorithm);
         result.lower_bound = bounds::fast_memory_dependent(
             bounds::mm_params_from_ints(
                 static_cast<std::int64_t>(cell.n), cell.m),
-            omega0_of(alg));
+            traits);
         result.bound_ratio =
             result.lower_bound == 0.0
                 ? 0.0
@@ -407,8 +422,15 @@ std::string task_row_json(const TaskResult& task) {
       << task_kind_name(task.cell.kind) << "\", \"algorithm\": \"";
   json_escape(oss, task.cell.algorithm);
   oss << "\", \"n\": " << task.cell.n << ", \"m\": " << task.cell.m
-      << ", \"seed\": " << task.cell.seed
-      << ", \"ok\": " << (task.ok ? "true" : "false");
+      << ", \"seed\": " << task.cell.seed;
+  if (!task.scheme_fingerprint.empty()) {
+    oss << ", \"scheme\": \"";
+    json_escape(oss, task.scheme_name);
+    oss << "\", \"scheme_fingerprint\": \"" << task.scheme_fingerprint
+        << "\", \"omega0\": ";
+    write_double(oss, task.omega0);
+  }
+  oss << ", \"ok\": " << (task.ok ? "true" : "false");
   if (task.attempts != 1) {
     oss << ", \"attempts\": " << task.attempts;
   }
@@ -527,6 +549,15 @@ std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
     TaskResult r;
     r.cell = cell;
     r.ok = row.at("ok").as_bool();
+    if (const auto* v = row.find("scheme")) {
+      r.scheme_name = v->as_string();
+    }
+    if (const auto* v = row.find("scheme_fingerprint")) {
+      r.scheme_fingerprint = v->as_string();
+    }
+    if (const auto* v = row.find("omega0")) {
+      r.omega0 = double_or_nan(*v);
+    }
     if (const auto* v = row.find("attempts")) {
       r.attempts = static_cast<int>(v->as_i64());
     }
@@ -781,6 +812,10 @@ SweepResult run_sweep(const SweepSpec& spec, CdagSource& cdag_source) {
       // skip, not an OOM kill.  Deterministic, so checkpointable.
       TaskResult& slot = result.tasks[cell.index];
       slot.cell = cell;
+      const bilinear::SchemeTraits traits = resolve_traits(cell.algorithm);
+      slot.scheme_name = traits.name;
+      slot.scheme_fingerprint = traits.fingerprint;
+      slot.omega0 = traits.omega0;
       slot.ok = true;
       slot.skipped = true;
       slot.skip_reason = "budget";

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "bilinear/algorithm.hpp"
+#include "bilinear/scheme.hpp"
 #include "cdag/cdag.hpp"
 #include "obs/run_report.hpp"
 #include "pebble/machine.hpp"
@@ -139,6 +140,15 @@ struct TaskResult {
   std::string skip_reason;
   std::string error;  // non-empty iff !ok
 
+  /// Scheme identity of the cell's algorithm: the scheme's declared name
+  /// (e.g. "laderman" for a file-loaded cell), its content-address
+  /// fingerprint, and ω0 = log_base(rank) (0 for rectangular schemes).
+  /// Rendered in every row so reports and checkpoints carry which exact
+  /// scheme produced each measurement.
+  std::string scheme_name;
+  std::string scheme_fingerprint;
+  double omega0 = 0.0;
+
   /// Attempts actually made (1 = first try; 0 = never ran, e.g. budget
   /// skip).  Rendered in the row JSON only when != 1.
   int attempts = 1;
@@ -214,12 +224,20 @@ struct SweepResult {
 /// gets the same stream no matter which worker runs it.
 std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index);
 
-/// Resolves a sweep algorithm name.  Catalog names (strassen, winograd,
-/// strassen-dual, strassen-perm, winograd-dual, classic, strassen-squared)
+/// Resolves a sweep algorithm name through bilinear::SchemeRegistry:
+/// catalog names (strassen, winograd, strassen-dual, strassen-perm,
+/// winograd-dual, classic, classic-<n>x<m>x<p>, strassen-squared),
+/// "file:<path>" scheme files (loaded and Brent-verified on first use),
 /// plus the alternative-basis variants strassen-alt / winograd-alt
-/// (Karstadt–Schwartz sparsifying bases; Theorem 4.1).  Throws CheckError
-/// for unknown names.
+/// (Karstadt–Schwartz sparsifying bases; Theorem 4.1) resolved locally
+/// because the basis search lives above bilinear in the layer stack.
+/// Throws CheckError for unknown names.
 bilinear::BilinearAlgorithm resolve_algorithm(const std::string& name);
+
+/// The SchemeTraits of a sweep algorithm name — same key space as
+/// resolve_algorithm, cached per process.  Throws CheckError for
+/// unknown names.
+bilinear::SchemeTraits resolve_traits(const std::string& name);
 
 /// The deterministic task list of `spec` (no work is performed).
 std::vector<TaskCell> enumerate_tasks(const SweepSpec& spec);
