@@ -6,12 +6,14 @@
 //   fmmio simulate <algorithm> --n N --m M [--schedule dfs|bfs|random]
 //                  [--policy lru|opt] [--remat] [--write-cost W]
 //                  [--out report.json] [--trace trace.json]
+//   fmmio optimal  <algorithm> --n N --m M [--remat]
+//                  [--max-states K] [--out report.json]
 //   fmmio cdag     <algorithm> --n N [--dot]
 //   fmmio parallel --n N --p P [--m M]
 //                  [--faults] [--drop-rate R] [--wipes P@STEP,...]
 //                  [--wipe-count K] [--seed S] [--out report.json]
 //   fmmio sweep    --alg A[,A2,...] --n N1[,N2,...] --m M1[,M2,...]
-//                  [--kinds simulate,liveness,dominator,boundcheck]
+//                  [--kinds simulate,liveness,dominator,boundcheck,optimal]
 //                  [--schedule dfs|bfs|random] [--policy lru|opt] [--remat]
 //                  [--threads T] [--keep-going] [--seed S]
 //                  [--retries K] [--backoff-base T] [--backoff-mult X]
@@ -53,6 +55,7 @@
 // --out writes a versioned JSON run report (docs/OBSERVABILITY.md);
 // --trace (or --out with tracing compiled in) writes a Chrome
 // trace-event JSON viewable in Perfetto.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,6 +91,7 @@
 #include "parallel/distsim.hpp"
 #include "pebble/liveness.hpp"
 #include "pebble/machine.hpp"
+#include "pebble/optimal.hpp"
 #include "pebble/schedules.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/fault.hpp"
@@ -487,6 +491,85 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_optimal(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: fmmio optimal <algorithm> --n N --m M [--remat] "
+                 "[--max-states K] [--out report.json]\n");
+    return 2;
+  }
+  const obs::ReportCli cli = report_cli_from(args);
+  obs::Registry::instance().reset();
+  const auto alg = pick(args.positional[1]);
+  const bilinear::SchemeTraits traits = pick_traits(args.positional[1]);
+  const auto n =
+      static_cast<std::size_t>(require_base_n(args, 2, "optimal", traits));
+  const std::int64_t m = require_positive_m(args, 8, "optimal");
+
+  pebble::OptimalPebbleOptions options;
+  options.cache_size = m;
+  options.allow_recomputation = args.has("remat");
+  const std::int64_t max_states = args.get_int(
+      "max-states",
+      static_cast<std::int64_t>(pebble::OptimalPebbleOptions{}.max_states));
+  if (max_states < 1) {
+    usage_error("optimal: --max-states must be >= 1, got " +
+                std::to_string(max_states));
+  }
+  options.max_states = static_cast<std::size_t>(max_states);
+  // Same certified floor the sweep layer injects: Theorem 1.1's closed
+  // form divided by the repo's certified slack (sweep::kBoundSlack).
+  const double floor_bound = std::ceil(
+      bounds::fast_memory_dependent(
+          {static_cast<double>(n), static_cast<double>(m), 1}, traits) /
+      sweep::kBoundSlack);
+  options.root_lower_bound = static_cast<std::int64_t>(floor_bound);
+
+  const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+  pebble::OptimalPebbleResult result;
+  try {
+    result = pebble::optimal_io(pebble::to_instance(cdag), options);
+  } catch (const pebble::InfeasibleError& e) {
+    std::fprintf(stderr, "optimal: infeasible: %s\n", e.what());
+    return 1;
+  }
+
+  const char* optimality = pebble::optimality_name(result.optimality);
+  std::printf("%s on H^{%zux%zu}, M=%lld, recomputation %s\n",
+              alg.name().c_str(), n, n, static_cast<long long>(m),
+              args.has("remat") ? "allowed" : "forbidden");
+  std::printf("  min_io=%lld (%s)  states_explored=%zu\n",
+              static_cast<long long>(result.min_io), optimality,
+              result.states_explored);
+  std::printf("  certified floor=%lld  holds=%s\n",
+              static_cast<long long>(options.root_lower_bound),
+              result.min_io >= options.root_lower_bound ? "yes" : "NO");
+  if (result.optimality ==
+      pebble::OptimalPebbleResult::Optimality::kBudgetExceeded) {
+    std::printf("  state budget %lld exceeded: min_io is a certified "
+                "LOWER bound, not the optimum\n",
+                static_cast<long long>(max_states));
+  }
+  if (cli.wants_report() || !cli.trace_path.empty()) {
+    obs::RunReport report("fmmio.optimal");
+    report.set_param("algorithm", alg.name());
+    report.set_param("scheme_fingerprint", traits.fingerprint);
+    report.set_param("n", static_cast<std::int64_t>(n));
+    report.set_param("m", m);
+    report.set_param("remat", args.has("remat") ? "true" : "false");
+    report.set_param("max_states", max_states);
+    report.set_result("min_io", result.min_io);
+    report.set_result("states_explored",
+                      static_cast<std::int64_t>(result.states_explored));
+    report.set_result("optimality", optimality);
+    report.set_result("lower_bound", options.root_lower_bound);
+    report.set_result("bound_holds",
+                      result.min_io >= options.root_lower_bound);
+    obs::finalize_run(cli, report);
+  }
+  return 0;
+}
+
 int cmd_cdag(const Args& args) {
   if (args.positional.size() < 2) {
     std::fprintf(stderr,
@@ -713,7 +796,7 @@ int cmd_sweep(const Args& args) {
   if (!args.has("alg") || !args.has("n") || !args.has("m")) {
     std::fprintf(stderr,
                  "usage: fmmio sweep --alg A[,A2] --n N1[,N2] --m M1[,M2] "
-                 "[--kinds simulate,liveness,dominator,boundcheck] "
+                 "[--kinds simulate,liveness,dominator,boundcheck,optimal] "
                  "[--schedule dfs|bfs|random] [--policy lru|opt] [--remat] "
                  "[--threads T] [--keep-going] [--seed S] [--retries K] "
                  "[--inject-failures R] [--max-cell-bytes B] "
@@ -774,6 +857,8 @@ int cmd_sweep(const Args& args) {
         spec.kinds.push_back(sweep::TaskKind::kDominator);
       } else if (kind == "boundcheck") {
         spec.kinds.push_back(sweep::TaskKind::kBoundCheck);
+      } else if (kind == "optimal") {
+        spec.kinds.push_back(sweep::TaskKind::kOptimal);
       } else {
         FMM_LOG_ERROR("unknown sweep kind '" << kind << "'");
         return 2;
@@ -883,6 +968,10 @@ int cmd_sweep(const Args& args) {
     } else if (task.cell.kind == sweep::TaskKind::kBoundCheck) {
       detail = std::string(task.bound_holds ? "holds" : "VIOLATED") +
                " ratio=" + format_double(task.bound_ratio);
+    } else if (task.cell.kind == sweep::TaskKind::kOptimal) {
+      detail = "min_io=" + std::to_string(task.min_io) + " (" +
+               task.optimality + ") states=" +
+               std::to_string(task.states_explored);
     }
     table.add_cell(detail);
   }
@@ -1087,7 +1176,7 @@ int cmd_query(const Args& args) {
   if (!args.has("op")) {
     std::fprintf(stderr,
                  "usage: fmmio query --op <ping|version|stats|bound|"
-                 "simulate|liveness|cdag|shutdown> [--id I] [--alg A] "
+                 "simulate|liveness|optimal|cdag|shutdown> [--id I] [--alg A] "
                  "[--n N] [--m M] [--p P] [--schedule S] [--policy P] "
                  "[--remat] [--seed S] [--connect SOCKET] [--print]\n");
     return 2;
@@ -1337,8 +1426,9 @@ int main(int argc, char** argv) {
   }
   if (args.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: fmmio <list|certify|bounds|simulate|cdag|parallel|"
-                 "sweep|serve|query|metrics|tail|scheme|version> [args]\n");
+                 "usage: fmmio <list|certify|bounds|simulate|optimal|cdag|"
+                 "parallel|sweep|serve|query|metrics|tail|scheme|version> "
+                 "[args]\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -1347,6 +1437,7 @@ int main(int argc, char** argv) {
     if (command == "certify") return cmd_certify(args);
     if (command == "bounds") return cmd_bounds(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "optimal") return cmd_optimal(args);
     if (command == "cdag") return cmd_cdag(args);
     if (command == "parallel") return cmd_parallel(args);
     if (command == "sweep") return cmd_sweep(args);

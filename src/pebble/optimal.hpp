@@ -4,9 +4,9 @@
 // S-span examples and Bilardi–Peserico show some CDAGs are only optimal
 // WITH recomputation, while Theorem 1.1 shows fast-MM CDAGs gain nothing
 // asymptotically.  This module makes the question decidable on small
-// instances: a Dijkstra search over red–blue pebble game states computes
-// the true minimum I/O, with recomputation allowed or forbidden, so the
-// two optima can be compared exactly.
+// instances: a branch-and-bound (best-first A*) search over red–blue
+// pebble game states computes the true minimum I/O, with recomputation
+// allowed or forbidden, so the two optima can be compared exactly.
 //
 // Game (Hong–Kung with deletions):
 //   - every vertex may hold a red pebble (fast memory) and/or a blue
@@ -18,29 +18,72 @@
 //   - DELETE v (cost 0): remove red(v);
 //   - goal: every output blue.
 //
-// Complexity is exponential; the solver requires <= 20 vertices and
-// enforces explicit state/expansion budgets.
+// Solver (docs/OPTIMAL.md):
+//   - states are canonicalized before memoization: pebbles on vertices
+//     that cannot reach a still-missing output are dropped (a dominance
+//     argument shows this preserves the optimum), which collapses the
+//     post-goal tail of the state space;
+//   - an admissible lower bound h(state) = forced stores + forced input
+//     loads (the load term walks the must-compute cone of the missing
+//     outputs) orders the best-first queue, with ties broken toward
+//     deeper states so exact-h instances complete without flooding the
+//     optimal-cost plateau;
+//   - options.root_lower_bound injects an external certified bound —
+//     e.g. Theorem 1.1's closed form — as a floor on every f-value;
+//   - the search is exact up to options.max_states distinct memoized
+//     states; past the budget it returns the best certified LOWER bound
+//     (min f over the open frontier) tagged kBudgetExceeded instead of
+//     the optimum.
+//
+// Complexity is exponential; the solver requires <= 64 vertices (full
+// Strassen n=2 CDAGs, encoder sub-CDAGs, and rectangular-scheme encoders
+// from the zoo fit; Strassen n=4 and Laderman n=3 full CDAGs do not).
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "cdag/cdag.hpp"
+#include "common/check.hpp"
 #include "graph/csr.hpp"
 
 namespace fmm::pebble {
 
+/// The instance cannot be solved at all under the given limits: more
+/// than 64 vertices, or M too small to ever compute some vertex.  A
+/// CheckError subclass so existing broad handlers keep working, while
+/// sweep's `optimal` kind can classify it as a structured `infeasible`
+/// skip instead of a task failure.
+class InfeasibleError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
 struct OptimalPebbleOptions {
   std::int64_t cache_size = 3;
   bool allow_recomputation = true;
-  /// Hard cap on distinct states explored (CheckError when exceeded).
+  /// Budget on distinct memoized states.  When exceeded the search stops
+  /// and reports the frontier's certified lower bound (kBudgetExceeded)
+  /// instead of throwing.
   std::size_t max_states = 4'000'000;
+  /// External certified lower bound on the instance's minimum I/O (e.g.
+  /// Theorem 1.1's closed form); floors every f-value, pruning any
+  /// branch that cannot beat it.  0 = no external bound.
+  std::int64_t root_lower_bound = 0;
 };
 
 struct OptimalPebbleResult {
+  /// kExact: min_io is the true optimum.  kBudgetExceeded: min_io is a
+  /// certified lower bound on the optimum (min f over the open
+  /// frontier when the state budget tripped).
+  enum class Optimality { kExact, kBudgetExceeded };
+
   std::int64_t min_io = 0;
   std::size_t states_explored = 0;
+  Optimality optimality = Optimality::kExact;
 };
+
+/// "exact" | "budget_exceeded" — the report-schema enum rendering.
+const char* optimality_name(OptimalPebbleResult::Optimality optimality);
 
 /// A problem instance: any DAG with designated inputs and outputs.
 struct PebbleInstance {
@@ -52,13 +95,16 @@ struct PebbleInstance {
 /// Wraps a (small) CDAG as an instance.
 PebbleInstance to_instance(const cdag::Cdag& cdag);
 
-/// Exact minimum I/O; throws CheckError when the instance exceeds the
-/// solver limits or M is too small to compute some vertex.
+/// Exact minimum I/O (or a certified lower bound past the state budget,
+/// see OptimalPebbleResult::Optimality).  Throws InfeasibleError when
+/// the instance exceeds 64 vertices or M is too small to compute some
+/// vertex.
 OptimalPebbleResult optimal_io(const PebbleInstance& instance,
                                const OptimalPebbleOptions& options);
 
 /// Convenience: the recomputation advantage on one instance —
 /// optimal without recomputation minus optimal with (>= 0 always).
+/// Requires both searches to finish exactly within the default budget.
 std::int64_t recomputation_advantage(const PebbleInstance& instance,
                                      std::int64_t cache_size);
 

@@ -40,13 +40,14 @@ Op op_from_name(const std::string& name) {
   if (name == "bound") return Op::kBound;
   if (name == "simulate") return Op::kSimulate;
   if (name == "liveness") return Op::kLiveness;
+  if (name == "optimal") return Op::kOptimal;
   if (name == "cdag") return Op::kCdag;
   if (name == "metrics") return Op::kMetrics;
   if (name == "tail") return Op::kTail;
   if (name == "shutdown") return Op::kShutdown;
   usage("unknown op '" + name +
         "'; expected ping, version, stats, bound, simulate, liveness, "
-        "cdag, metrics, tail or shutdown");
+        "optimal, cdag, metrics, tail or shutdown");
 }
 
 bool field_allowed(Op op, const std::string& field) {
@@ -70,6 +71,9 @@ bool field_allowed(Op op, const std::string& field) {
              field == "seed";
     case Op::kLiveness:
       return field == "algorithm" || field == "n" || field == "m";
+    case Op::kOptimal:
+      return field == "algorithm" || field == "n" || field == "m" ||
+             field == "remat" || field == "seed";
     case Op::kCdag:
       return field == "algorithm" || field == "n";
   }
@@ -103,6 +107,7 @@ const char* op_name(Op op) {
     case Op::kBound: return "bound";
     case Op::kSimulate: return "simulate";
     case Op::kLiveness: return "liveness";
+    case Op::kOptimal: return "optimal";
     case Op::kCdag: return "cdag";
     case Op::kMetrics: return "metrics";
     case Op::kTail: return "tail";
@@ -216,6 +221,11 @@ Request parse_request(const std::string& line) {
         usage("simulate needs n and m");
       }
       break;
+    case Op::kOptimal:
+      if (request.n == 0 || request.m == 0) {
+        usage("optimal needs n and m");
+      }
+      break;
     case Op::kLiveness:
       if (request.n == 0) {
         usage("liveness needs n");
@@ -265,6 +275,12 @@ std::string canonical_request(const Request& request) {
       emit_algorithm();
       os << ", \"n\": " << request.n << ", \"m\": " << request.m;
       break;
+    case Op::kOptimal:
+      emit_algorithm();
+      os << ", \"n\": " << request.n << ", \"m\": " << request.m
+         << ", \"remat\": " << (request.remat ? "true" : "false")
+         << ", \"seed\": " << request.seed;
+      break;
     case Op::kCdag:
       emit_algorithm();
       os << ", \"n\": " << request.n;
@@ -286,6 +302,7 @@ bool op_is_cacheable(Op op) {
     case Op::kBound:
     case Op::kSimulate:
     case Op::kLiveness:
+    case Op::kOptimal:
     case Op::kCdag:
       return true;
     case Op::kPing:
@@ -300,7 +317,8 @@ bool op_is_cacheable(Op op) {
 }
 
 bool op_needs_cdag(Op op) {
-  return op == Op::kSimulate || op == Op::kLiveness || op == Op::kCdag;
+  return op == Op::kSimulate || op == Op::kLiveness || op == Op::kOptimal ||
+         op == Op::kCdag;
 }
 
 std::string ok_response(const Request& request, const std::string& result) {

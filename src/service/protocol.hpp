@@ -17,6 +17,13 @@
 //               so serve, sweep and `fmmio simulate` share one code
 //               path and one determinism contract.
 //   liveness  — zero-spill working-set profile, same task-row form.
+//   optimal   — exact minimum-I/O pebbling of H^{n x n} via the
+//               branch-and-bound oracle (pebble/optimal.hpp), same
+//               one-cell sweep task-row form; the row's "optimality"
+//               field says whether the state budget held ("exact") or
+//               the value is a certified lower bound
+//               ("budget_exceeded").  Costed at the solver's state
+//               budget for --deadline-ticks admission.
 //   cdag      — structure of H^{n x n} (vertices, edges, role counts).
 //   metrics   — Prometheus text exposition of the metrics registry
 //               (counters, gauges, histogram buckets) as one JSON
@@ -28,7 +35,7 @@
 //   shutdown  — graceful drain: in-flight requests finish and are
 //               answered, then the session ends.
 //
-// The "algorithm" field of simulate/liveness/cdag takes any scheme
+// The "algorithm" field of simulate/liveness/optimal/cdag takes any scheme
 // registry key: catalog names ("strassen", "winograd-dual",
 // "classic-<n>x<m>x<p>", ...) or "file:<path>" naming an fmm.scheme
 // JSON file, loaded and Brent-verified on first use.  A name and a
@@ -41,7 +48,8 @@
 // strings are single lines prefixed with a machine-readable class:
 // usage_error, rejected: queue_full, deadline_exceeded, internal_error.
 //
-// Determinism contract: for bound/simulate/liveness/cdag, the `result`
+// Determinism contract: for bound/simulate/liveness/optimal/cdag, the
+// `result`
 // object is a pure function of the canonical request (id excluded) —
 // byte-identical regardless of cache state, thread count or request
 // interleaving.  ping/version/stats/metrics/tail are control ops and
@@ -64,6 +72,7 @@ enum class Op {
   kBound,
   kSimulate,
   kLiveness,
+  kOptimal,
   kCdag,
   kMetrics,
   kTail,
@@ -84,8 +93,8 @@ struct Request {
   std::int64_t p = 1;           // bound only
   std::string schedule = "dfs";  // simulate only
   std::string policy = "lru";    // simulate only
-  bool remat = false;            // simulate only
-  std::uint64_t seed = 1;        // simulate (random schedule) only
+  bool remat = false;            // simulate + optimal
+  std::uint64_t seed = 1;        // simulate (random schedule) + optimal
   std::int64_t limit = 0;        // tail only; 0 = everything in the ring
 };
 
@@ -111,7 +120,7 @@ Request parse_request(const std::string& line);
 std::string canonical_request(const Request& request);
 
 /// True for ops whose result payload obeys the determinism contract and
-/// is therefore result-cacheable (bound/simulate/liveness/cdag).
+/// is therefore result-cacheable (bound/simulate/liveness/optimal/cdag).
 bool op_is_cacheable(Op op);
 
 /// True for ops that need the (algorithm, n) CDAG built.

@@ -19,6 +19,7 @@
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pebble/optimal.hpp"
 
 #ifdef __unix__
 #include <sys/socket.h>
@@ -180,6 +181,13 @@ std::int64_t QueryService::estimated_cost_ticks(
     const Request& request, const bilinear::SchemeTraits& traits) const {
   if (!op_needs_cdag(request.op)) {
     return 1;
+  }
+  // The optimal op is deadline-guarded by its own state budget: the
+  // branch-and-bound search memoizes at most max_states distinct states
+  // before degrading to a certified lower bound, so that budget IS the
+  // cost ceiling regardless of CDAG size.
+  if (request.op == Op::kOptimal) {
+    return static_cast<std::int64_t>(pebble::OptimalPebbleOptions{}.max_states);
   }
   // Upper bound on |V(H^{n x n})|: each recursion level multiplies the
   // subproblem count by rank and the block count by base³, so
@@ -392,6 +400,27 @@ std::string QueryService::compute_result(const Request& request) {
       if (request.policy == "opt") {
         spec.replacement = pebble::ReplacementPolicy::kBelady;
       }
+      spec.remat = request.remat;
+      spec.base_seed = request.seed;
+      const std::vector<sweep::TaskCell> cells =
+          sweep::enumerate_tasks(spec);
+      FMM_CHECK_MSG(cells.size() == 1, "one-cell spec enumerated "
+                                           << cells.size() << " cells");
+      const std::shared_ptr<const cdag::Cdag> cdag =
+          cdag_source_.get_cdag(request.algorithm, request.n);
+      const sweep::TaskResult row =
+          sweep::run_task(cells[0], *cdag, spec);
+      return sweep::task_row_json(row);
+    }
+    case Op::kOptimal: {
+      // Same one-cell sweep path as simulate/liveness: the exact
+      // minimum-I/O row (or its structured `infeasible` skip) is byte
+      // identical to the matching `fmmio sweep --kinds optimal` row.
+      sweep::SweepSpec spec;
+      spec.algorithms = {request.algorithm};
+      spec.n_grid = {request.n};
+      spec.m_grid = {request.m};
+      spec.kinds = {sweep::TaskKind::kOptimal};
       spec.remat = request.remat;
       spec.base_seed = request.seed;
       const std::vector<sweep::TaskCell> cells =

@@ -8,7 +8,7 @@
 // `fmmio serve --socket` — and responses are emitted IN REQUEST ORDER
 // even though compute requests run concurrently on the pool.
 //
-// Flow of one compute request (bound/simulate/liveness/cdag):
+// Flow of one compute request (bound/simulate/liveness/optimal/cdag):
 //
 //   parse → deadline check → admission check → pool dispatch →
 //   result-cache lookup → (miss: CDAG fetch through the cache +
@@ -18,7 +18,9 @@
 // (resilience/retry.hpp): a request's cost is ESTIMATED in deterministic
 // ticks (8·max(rank, base³)^{log_base n} — an upper bound on the vertex
 // count of H^{n x n} for the resolved scheme, 8·8^{log2 n} for
-// Strassen; 1 for closed-form ops) and
+// Strassen; the branch-and-bound state budget for optimal, whose
+// search is capped by that budget rather than the CDAG size; 1 for
+// closed-form ops) and
 // compared against deadline_ticks at admission.  No wall-clock is ever
 // consulted, so a given (config, request) pair always gets the same
 // deadline_exceeded verdict — deterministic, testable backpressure.

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "altbasis/alt_basis.hpp"
@@ -23,6 +24,7 @@
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "pebble/liveness.hpp"
+#include "pebble/optimal.hpp"
 #include "pebble/schedules.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/fault.hpp"
@@ -30,11 +32,6 @@
 namespace fmm::sweep {
 
 namespace {
-
-/// Lower-bound slack constant shared with the property tests: measured
-/// I/O of any valid schedule must sit above bound/8 (the Ω-constant the
-/// repo certifies empirically).
-constexpr double kBoundSlack = 8.0;
 
 inline constexpr const char* kCheckpointSchema = "fmm.sweep.checkpoint";
 inline constexpr int kCheckpointSchemaVersion = 1;
@@ -226,6 +223,7 @@ const char* task_kind_name(TaskKind kind) {
     case TaskKind::kLiveness: return "liveness";
     case TaskKind::kDominator: return "dominator";
     case TaskKind::kBoundCheck: return "boundcheck";
+    case TaskKind::kOptimal: return "optimal";
   }
   return "?";
 }
@@ -367,6 +365,49 @@ TaskResult run_task(const TaskCell& cell, const cdag::Cdag& cdag,
                              result.lower_bound / kBoundSlack;
         break;
       }
+      case TaskKind::kOptimal: {
+        pebble::OptimalPebbleOptions options;
+        options.cache_size = cell.m;
+        // The variant follows the sweep's rematerialization regime, so
+        // optimal rows compare like-for-like against simulate rows of
+        // the same spec: standard sweeps certify the once-only game,
+        // --remat sweeps the recomputation-allowed game.
+        options.allow_recomputation = spec.remat;
+        double floor_bound = 0.0;
+        if (traits.base >= 2) {
+          // Theorem 1.1's certified floor (the Ω-constant reading the
+          // repo certifies, bound/kBoundSlack) doubles as the solver's
+          // root pruning bound — every reported min_io sits above it by
+          // construction.
+          floor_bound = std::ceil(
+              bounds::fast_memory_dependent(
+                  bounds::mm_params_from_ints(
+                      static_cast<std::int64_t>(cell.n), cell.m),
+                  traits) /
+              kBoundSlack);
+          options.root_lower_bound =
+              static_cast<std::int64_t>(floor_bound);
+        }
+        try {
+          const pebble::OptimalPebbleResult opt =
+              pebble::optimal_io(pebble::to_instance(cdag), options);
+          result.min_io = opt.min_io;
+          result.states_explored =
+              static_cast<std::int64_t>(opt.states_explored);
+          result.optimality = pebble::optimality_name(opt.optimality);
+          result.lower_bound = floor_bound;
+          result.bound_holds =
+              static_cast<double>(opt.min_io) >= floor_bound;
+        } catch (const pebble::InfeasibleError&) {
+          // Structured skip, not a failure: the instance is over the
+          // solver's 64-vertex ceiling or unsolvable at this M.  The
+          // sweep carries on even in fail-fast mode, mirroring budget
+          // skips.
+          result.skipped = true;
+          result.skip_reason = "infeasible";
+        }
+        break;
+      }
     }
     result.ok = true;
   } catch (const std::exception& e) {
@@ -481,6 +522,16 @@ std::string task_row_json(const TaskResult& task) {
         write_double(oss, task.dominator_worst_ratio);
         oss << ", \"dominator_holds\": "
             << (task.dominator_holds ? "true" : "false");
+        break;
+      case TaskKind::kOptimal:
+        oss << ", \"min_io\": " << task.min_io
+            << ", \"states_explored\": " << task.states_explored
+            << ", \"optimality\": \"";
+        json_escape(oss, task.optimality);
+        oss << "\", \"lower_bound\": ";
+        write_double(oss, task.lower_bound);
+        oss << ", \"bound_holds\": "
+            << (task.bound_holds ? "true" : "false");
         break;
     }
   }
@@ -614,6 +665,15 @@ std::vector<TaskResult> load_sweep_checkpoint(const std::string& path,
     }
     if (const auto* v = row.find("bound_holds")) {
       r.bound_holds = v->as_bool();
+    }
+    if (const auto* v = row.find("min_io")) {
+      r.min_io = v->as_i64();
+    }
+    if (const auto* v = row.find("states_explored")) {
+      r.states_explored = v->as_i64();
+    }
+    if (const auto* v = row.find("optimality")) {
+      r.optimality = v->as_string();
     }
 
     // Byte-identity is the whole point of resuming: the restored row
@@ -864,7 +924,19 @@ SweepResult run_sweep(const SweepSpec& spec, CdagSource& cdag_source) {
     }
   }
 
-  // Aggregate in task-index order.
+  // Aggregate in task-index order.  The certified chain compares each
+  // optimal cell against the simulate cell at the same coordinates, so
+  // collect the heuristic I/O per (algorithm, n, M) first.
+  std::map<std::tuple<std::string, std::size_t, std::int64_t>,
+           std::int64_t>
+      simulated_io;
+  for (const TaskResult& task : result.tasks) {
+    if (task.ok && !task.skipped &&
+        task.cell.kind == TaskKind::kSimulate) {
+      simulated_io[{task.cell.algorithm, task.cell.n, task.cell.m}] =
+          task.total_io;
+    }
+  }
   bool any_bound = false;
   bool any_dominator = false;
   for (const TaskResult& task : result.tasks) {
@@ -880,6 +952,24 @@ SweepResult run_sweep(const SweepSpec& spec, CdagSource& cdag_source) {
     ++result.completed;
     result.aggregate_total_io += task.total_io;
     result.aggregate_recomputations += task.recomputations;
+    if (task.cell.kind == TaskKind::kOptimal) {
+      ++result.optimal_cells;
+      if (task.optimality == "exact") {
+        ++result.optimal_exact;
+      }
+      // bound <= optimal holds per row (bound_holds); optimal <=
+      // heuristic holds against the matching simulate cell — valid for
+      // budget_exceeded rows too, whose min_io is a certified lower
+      // bound on the optimum.
+      bool chain_holds = task.bound_holds;
+      const auto sim = simulated_io.find(
+          {task.cell.algorithm, task.cell.n, task.cell.m});
+      if (sim != simulated_io.end()) {
+        ++result.optimal_chains_checked;
+        chain_holds = chain_holds && task.min_io <= sim->second;
+      }
+      result.all_chains_hold = result.all_chains_hold && chain_holds;
+    }
     if (task.cell.kind == TaskKind::kBoundCheck) {
       result.all_bounds_hold = result.all_bounds_hold && task.bound_holds;
       result.worst_bound_ratio =
@@ -939,6 +1029,16 @@ std::string SweepResult::to_json() const {
       << (all_dominators_hold ? "true" : "false")
       << ", \"worst_dominator_ratio\": ";
   write_double(oss, worst_dominator_ratio);
+  // The certified-chain aggregate exists only for sweeps that ran the
+  // optimal oracle; reports without it stay byte-identical to before.
+  if (std::find(spec.kinds.begin(), spec.kinds.end(),
+                TaskKind::kOptimal) != spec.kinds.end()) {
+    oss << ", \"optimal_cells\": " << optimal_cells
+        << ", \"optimal_exact\": " << optimal_exact
+        << ", \"optimal_chains_checked\": " << optimal_chains_checked
+        << ", \"all_chains_hold\": "
+        << (all_chains_hold ? "true" : "false");
+  }
   oss << "},\n";
 
   oss << "      \"tasks\": [";

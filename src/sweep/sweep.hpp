@@ -58,12 +58,21 @@ namespace fmm::sweep {
 inline constexpr const char* kSweepSchema = "fmm.sweep";
 inline constexpr int kSweepSchemaVersion = 1;
 
+/// Lower-bound slack constant shared with the property tests and the
+/// `optimal` kind's certified floor: measured I/O of any valid schedule
+/// must sit above bound/8 (the Ω-constant the repo certifies
+/// empirically).
+inline constexpr double kBoundSlack = 8.0;
+
 /// What one grid cell runs.
 enum class TaskKind {
   kSimulate,    // pebble::simulate (or simulate_with_recomputation)
   kLiveness,    // zero-spill working-set profile of the schedule
   kDominator,   // Lemma 3.7 certification (min vertex cut sampling)
   kBoundCheck,  // Theorem 1.1 / 4.1: measured I/O vs closed-form bound
+  kOptimal,     // exact minimum-I/O oracle (pebble/optimal.hpp); the
+                // recomputation variant follows spec.remat, infeasible
+                // cells (> 64 vertices, M too small) become skips
 };
 
 const char* task_kind_name(TaskKind kind);
@@ -173,10 +182,19 @@ struct TaskResult {
   double dominator_worst_ratio = 0.0;
   bool dominator_holds = false;
 
-  // kBoundCheck payload.
+  // kBoundCheck payload (lower_bound / bound_holds are shared with
+  // kOptimal rows, where lower_bound is the Theorem 1.1 certified floor
+  // fed to the solver as its root pruning bound).
   double lower_bound = 0.0;
   double bound_ratio = 0.0;  // measured total_io / lower_bound
   bool bound_holds = false;
+
+  // kOptimal payload.
+  std::int64_t min_io = 0;
+  std::int64_t states_explored = 0;
+  /// "exact" (min_io is the optimum) or "budget_exceeded" (min_io is
+  /// the frontier's certified lower bound); empty for other kinds.
+  std::string optimality;
 };
 
 /// Deterministic aggregate view + per-task rows, in task-index order.
@@ -193,6 +211,16 @@ struct SweepResult {
   /// min over kDominator cells of the Lemma 3.7 slack ratio.
   double worst_dominator_ratio = 0.0;
   bool all_dominators_hold = true;
+  /// Certified-chain aggregate over kOptimal cells (rendered only when
+  /// the spec runs the optimal kind, keeping older reports byte-stable):
+  /// every ok optimal row must satisfy lower_bound <= min_io, and where
+  /// the same (algorithm, n, M) cell also ran a simulate task,
+  /// min_io <= heuristic total_io — the chain
+  /// `bound <= optimal <= heuristic` per cell.
+  std::size_t optimal_cells = 0;
+  std::size_t optimal_exact = 0;
+  std::size_t optimal_chains_checked = 0;
+  bool all_chains_hold = true;
   std::vector<TaskResult> tasks;
 
   /// Echo of the deterministic part of the spec (excludes num_threads

@@ -1,0 +1,315 @@
+// Differential conformance harness: the exact branch-and-bound oracle
+// (pebble/optimal.hpp) certifies every heuristic simulator path on every
+// solver-feasible instance — zoo schemes (full CDAGs and encoder
+// sub-CDAGs) plus a seeded grid of random DAGs.
+//
+// The certified chain per (instance, M) cell:
+//
+//   counting floor <= optimal(remat) <= optimal(no remat) <= heuristic
+//
+// where the counting floor is |must-load inputs| + |outputs| (every
+// input that reaches an output must be loaded at least once, every
+// output stored at least once), heuristics are simulate() over
+// dfs/bfs/random schedules x lru/belady policies, and the recomputing
+// regime is checked against simulate_with_recomputation.  Every failure
+// message carries the replayable (scheme, side, n, M, seed) coordinates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bilinear/catalog.hpp"
+#include "bilinear/scheme.hpp"
+#include "cdag/builder.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "pebble/machine.hpp"
+#include "pebble/optimal.hpp"
+#include "pebble/schedules.hpp"
+
+namespace fmm::pebble {
+namespace {
+
+std::string zoo_path(const std::string& file) {
+  return std::string(FMM_SOURCE_ROOT) + "/schemes/" + file;
+}
+
+/// The encoder of one side of a bilinear scheme as a standalone pebble
+/// instance: operand inputs feed the rank combination vertices, which
+/// are all outputs (the shape Lemma 3.4 bounds).
+PebbleInstance encoder_instance(const bilinear::BilinearAlgorithm& alg,
+                                bilinear::Side side) {
+  const auto supports = alg.product_supports(side);
+  std::size_t num_inputs = 0;
+  for (const auto& support : supports) {
+    for (const std::size_t x : support) {
+      num_inputs = std::max(num_inputs, x + 1);
+    }
+  }
+  PebbleInstance instance;
+  graph::GraphBuilder builder(num_inputs + supports.size());
+  for (std::size_t x = 0; x < num_inputs; ++x) {
+    instance.inputs.push_back(static_cast<graph::VertexId>(x));
+  }
+  for (std::size_t r = 0; r < supports.size(); ++r) {
+    const auto v = static_cast<graph::VertexId>(num_inputs + r);
+    for (const std::size_t x : supports[r]) {
+      builder.add_edge(static_cast<graph::VertexId>(x), v);
+    }
+    instance.outputs.push_back(v);
+  }
+  instance.graph = builder.freeze();
+  return instance;
+}
+
+/// Wraps a PebbleInstance as a minimal Cdag so the heuristic simulator
+/// and schedule generators accept it: inputs play the A role, internal
+/// vertices are products, outputs are outputs.
+cdag::Cdag cdag_from_instance(const PebbleInstance& instance) {
+  cdag::Cdag cdag;
+  cdag.graph = instance.graph;
+  cdag.roles.assign(cdag.graph.num_vertices(), cdag::Role::kProduct);
+  for (const graph::VertexId v : instance.inputs) {
+    cdag.roles[v] = cdag::Role::kInputA;
+    cdag.inputs_a.push_back(v);
+  }
+  for (const graph::VertexId v : instance.outputs) {
+    cdag.roles[v] = cdag::Role::kOutput;
+    cdag.outputs.push_back(v);
+  }
+  cdag.algorithm_name = "instance";
+  return cdag;
+}
+
+/// Trivially sound floor: every input with a path to an output must be
+/// red at some point and inputs cannot be computed, so each costs one
+/// LOAD; every output starts non-blue and costs one STORE.
+std::int64_t counting_floor(const PebbleInstance& instance) {
+  const std::size_t nv = instance.graph.num_vertices();
+  std::vector<bool> reaches(nv, false);
+  for (const graph::VertexId v : instance.outputs) {
+    reaches[v] = true;
+  }
+  // Edges satisfy u < v (GraphBuilder::freeze), so one descending pass
+  // propagates reachability-to-an-output.
+  for (graph::VertexId v = static_cast<graph::VertexId>(nv); v-- > 0;) {
+    if (!reaches[v]) {
+      continue;
+    }
+    for (const graph::VertexId u : instance.graph.in_neighbors(v)) {
+      reaches[u] = true;
+    }
+  }
+  std::int64_t loads = 0;
+  for (const graph::VertexId v : instance.inputs) {
+    loads += reaches[v] ? 1 : 0;
+  }
+  return loads + static_cast<std::int64_t>(instance.outputs.size());
+}
+
+struct HeuristicRun {
+  std::string name;
+  std::int64_t total_io = 0;
+  bool remat = false;  // which optimal variant upper-bounds it
+};
+
+/// Runs every heuristic schedule x policy combination that is legal at
+/// this M; illegal combinations (cache too small for the schedule's
+/// working set, remat livelock) are skipped, not failures.
+std::vector<HeuristicRun> run_heuristics(const cdag::Cdag& cdag,
+                                         std::int64_t m,
+                                         std::uint64_t seed) {
+  std::vector<HeuristicRun> runs;
+  Rng rng(seed);
+  const std::vector<std::pair<std::string, std::vector<graph::VertexId>>>
+      schedules = {
+          {"dfs", dfs_schedule(cdag)},
+          {"bfs", bfs_schedule(cdag)},
+          {"random", random_topological_schedule(cdag, rng)},
+      };
+  for (const auto& [schedule_name, schedule] : schedules) {
+    for (const bool belady : {false, true}) {
+      SimOptions options;
+      options.cache_size = m;
+      options.replacement =
+          belady ? ReplacementPolicy::kBelady : ReplacementPolicy::kLru;
+      try {
+        const SimResult result = simulate(cdag, schedule, options);
+        runs.push_back({schedule_name + (belady ? "/belady" : "/lru"),
+                        result.total_io(), false});
+      } catch (const CheckError&) {
+        // M too small for this schedule — the oracle may still solve
+        // the cell; just drop this heuristic from the chain.
+      }
+    }
+    if (schedule_name == "dfs") {
+      SimOptions options;
+      options.cache_size = m;
+      options.writeback = WritebackPolicy::kDropRecomputable;
+      try {
+        const SimResult result =
+            simulate_with_recomputation(cdag, schedule, options);
+        runs.push_back({"dfs/remat", result.total_io(), true});
+      } catch (const CheckError&) {
+      }
+    }
+  }
+  return runs;
+}
+
+/// The harness core: solves both recomputation variants and checks the
+/// full certified chain on one (instance, M) cell.  `tag` carries the
+/// replayable coordinates into every assertion message.
+void check_cell(const PebbleInstance& instance, std::int64_t m,
+                const std::string& tag, std::uint64_t seed = 1) {
+  SCOPED_TRACE(tag + " M=" + std::to_string(m) +
+               " seed=" + std::to_string(seed));
+  OptimalPebbleOptions with;
+  with.cache_size = m;
+  with.allow_recomputation = true;
+  OptimalPebbleOptions without = with;
+  without.allow_recomputation = false;
+
+  OptimalPebbleResult opt_with;
+  OptimalPebbleResult opt_without;
+  try {
+    opt_with = optimal_io(instance, with);
+    opt_without = optimal_io(instance, without);
+  } catch (const InfeasibleError&) {
+    // M too small to ever pebble the instance — nothing to certify.
+    return;
+  }
+  ASSERT_GT(opt_with.states_explored, 0u);
+  ASSERT_GT(opt_without.states_explored, 0u);
+
+  // Lower end of the chain.  min_io is a certified lower bound even
+  // when the state budget tripped, so comparisons against heuristics
+  // stay valid; the floor comparison needs exactness.
+  const bool both_exact =
+      opt_with.optimality == OptimalPebbleResult::Optimality::kExact &&
+      opt_without.optimality == OptimalPebbleResult::Optimality::kExact;
+  if (both_exact) {
+    EXPECT_GE(opt_with.min_io, counting_floor(instance));
+    // Forbidding recomputation can never reduce the optimum.
+    EXPECT_LE(opt_with.min_io, opt_without.min_io);
+  }
+
+  // Upper end: every valid schedule's I/O dominates the corresponding
+  // game variant's optimum (and a fortiori the recomputing optimum).
+  const cdag::Cdag cdag = cdag_from_instance(instance);
+  for (const HeuristicRun& run : run_heuristics(cdag, m, seed)) {
+    EXPECT_LE(opt_with.min_io, run.total_io) << "heuristic " << run.name;
+    if (!run.remat) {
+      EXPECT_LE(opt_without.min_io, run.total_io)
+          << "heuristic " << run.name;
+    }
+  }
+}
+
+TEST(OptimalDifferential, ZooEncodersBothSides) {
+  // Every zoo scheme's encoders, both sides, at a small M grid.  The
+  // rect_336_46 B-encoder sits exactly at the 64-vertex solver ceiling.
+  const std::vector<std::string> zoo = {
+      "strassen_222_7.json",
+      "hk_style_222_7.json",
+      "laderman_333_23.json",
+      "rect_336_46.json",
+  };
+  for (const std::string& file : zoo) {
+    const bilinear::BilinearAlgorithm alg =
+        bilinear::to_algorithm(bilinear::load_scheme_file(zoo_path(file)));
+    for (const bilinear::Side side :
+         {bilinear::Side::kA, bilinear::Side::kB}) {
+      const PebbleInstance instance = encoder_instance(alg, side);
+      if (instance.graph.num_vertices() > 64) {
+        continue;  // beyond the oracle's mask width
+      }
+      const std::string tag =
+          file + (side == bilinear::Side::kA ? "/A" : "/B");
+      // M large enough that the search stays exact within the default
+      // budget (tight-M cells on the biggest encoders are budget-bound
+      // by design, and a budget-bound cell costs seconds, not ms).
+      const std::int64_t m =
+          instance.graph.num_vertices() >= 60 ? 19 : 10;
+      check_cell(instance, m, tag);
+    }
+  }
+}
+
+TEST(OptimalDifferential, FullStrassenLikeCdags) {
+  // Full H^{2x2} CDAGs of the two 2x2x7 zoo schemes (33 vertices) —
+  // the complete load-encode-multiply-decode-store pipeline.
+  for (const std::string& file :
+       {std::string("strassen_222_7.json"),
+        std::string("hk_style_222_7.json")}) {
+    const bilinear::BilinearAlgorithm alg =
+        bilinear::to_algorithm(bilinear::load_scheme_file(zoo_path(file)));
+    const cdag::Cdag cdag = cdag::build_cdag(alg, 2);
+    const PebbleInstance instance = to_instance(cdag);
+    ASSERT_LE(instance.graph.num_vertices(), 64u) << file;
+    for (const std::int64_t m : {12, 16}) {
+      check_cell(instance, m, file + "/full");
+    }
+  }
+}
+
+TEST(OptimalDifferential, CatalogStrassenMatchesFileScheme) {
+  // The catalog's built-in Strassen and the zoo file are the same
+  // scheme, so their optima must agree cell by cell.
+  const cdag::Cdag catalog_cdag =
+      cdag::build_cdag(bilinear::strassen(), 2);
+  const cdag::Cdag file_cdag = cdag::build_cdag(
+      bilinear::to_algorithm(
+          bilinear::load_scheme_file(zoo_path("strassen_222_7.json"))),
+      2);
+  for (const std::int64_t m : {12, 16}) {
+    OptimalPebbleOptions options;
+    options.cache_size = m;
+    const auto a = optimal_io(to_instance(catalog_cdag), options);
+    const auto b = optimal_io(to_instance(file_cdag), options);
+    EXPECT_EQ(a.min_io, b.min_io) << "M=" << m;
+  }
+}
+
+TEST(OptimalDifferential, RandomInstanceGrid) {
+  // Seeded grid of random DAGs: the oracle certifies the heuristics on
+  // shapes no scheme produces.  Coordinates print on failure, so any
+  // violation replays as random_instance(inputs, internal, fanin, seed).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::size_t num_inputs = 3 + seed % 3;
+    const std::size_t num_internal = 5 + seed % 5;
+    const PebbleInstance instance =
+        random_instance(num_inputs, num_internal, 3, seed);
+    const std::string tag = "random_instance(" +
+                            std::to_string(num_inputs) + ", " +
+                            std::to_string(num_internal) + ", 3, " +
+                            std::to_string(seed) + ")";
+    for (const std::int64_t m : {4, 6, 8}) {
+      check_cell(instance, m, tag, seed);
+    }
+  }
+}
+
+TEST(OptimalDifferential, VariantOrderingUnderBudget) {
+  // Even with a starved state budget the returned values are certified
+  // lower bounds, so optimal <= heuristic must STILL hold — the chain
+  // degrades gracefully instead of inverting.
+  const PebbleInstance instance = random_instance(4, 8, 3, 7);
+  OptimalPebbleOptions options;
+  options.cache_size = 4;
+  options.max_states = 16;
+  OptimalPebbleResult starved;
+  try {
+    starved = optimal_io(instance, options);
+  } catch (const InfeasibleError&) {
+    GTEST_SKIP() << "M=4 infeasible for this instance";
+  }
+  options.max_states = OptimalPebbleOptions{}.max_states;
+  const OptimalPebbleResult full = optimal_io(instance, options);
+  ASSERT_EQ(full.optimality, OptimalPebbleResult::Optimality::kExact);
+  EXPECT_LE(starved.min_io, full.min_io);
+}
+
+}  // namespace
+}  // namespace fmm::pebble

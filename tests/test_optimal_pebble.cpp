@@ -211,6 +211,96 @@ TEST(OptimalPebble, TooManyVerticesRejected) {
   const cdag::Cdag cdag = cdag::build_cdag(bilinear::strassen(), 4);
   OptimalPebbleOptions options;
   EXPECT_THROW(optimal_io(to_instance(cdag), options), CheckError);
+  // The over-limit case is classified infeasible, not a generic failure,
+  // so `optimal`-kind sweep cells at untracked sizes become skips.
+  EXPECT_THROW(optimal_io(to_instance(cdag), options), InfeasibleError);
+}
+
+TEST(OptimalPebble, SixtyFourVertexBoundaryIsInclusive) {
+  // chain(63) has exactly 64 vertices — the solver's new ceiling.
+  OptimalPebbleOptions options;
+  options.cache_size = 2;
+  EXPECT_EQ(optimal_io(chain(63), options).min_io, 2);
+  EXPECT_THROW(optimal_io(chain(64), options), InfeasibleError);
+}
+
+TEST(OptimalPebble, UnsolvableThrowsInfeasibleError) {
+  OptimalPebbleOptions options;
+  options.cache_size = 1;
+  EXPECT_THROW(optimal_io(chain(2), options), InfeasibleError);
+}
+
+TEST(OptimalPebble, StrassenFullCdagExactIo) {
+  // The full H^{2x2} Strassen CDAG (33 vertices: 8 inputs, 14 encoder
+  // combinations, 7 products, 4 outputs) is the first acceptance target
+  // of the branch-and-bound solver.  With enough cache the optimum is
+  // the trivial floor: 8 input loads + 4 output stores.
+  const cdag::Cdag cdag = cdag::build_cdag(bilinear::strassen(), 2);
+  const PebbleInstance instance = to_instance(cdag);
+  EXPECT_EQ(instance.graph.num_vertices(), 33u);
+  for (const bool remat : {true, false}) {
+    OptimalPebbleOptions options;
+    options.cache_size = 16;
+    options.allow_recomputation = remat;
+    const auto result = optimal_io(instance, options);
+    EXPECT_EQ(result.min_io, 12) << "remat=" << remat;
+    EXPECT_EQ(result.optimality, OptimalPebbleResult::Optimality::kExact);
+    EXPECT_GT(result.states_explored, 0u);
+  }
+}
+
+TEST(OptimalPebble, StrassenFullCdagVariantOrdering) {
+  // M = 12 is the smallest cache for which both searches stay exact
+  // within the default budget; the optima stay ordered:
+  // min_io(remat) <= min_io(no-remat).
+  const PebbleInstance instance =
+      to_instance(cdag::build_cdag(bilinear::strassen(), 2));
+  OptimalPebbleOptions with;
+  with.cache_size = 12;
+  with.allow_recomputation = true;
+  OptimalPebbleOptions without = with;
+  without.allow_recomputation = false;
+  const auto r_with = optimal_io(instance, with);
+  const auto r_without = optimal_io(instance, without);
+  EXPECT_EQ(r_with.optimality, OptimalPebbleResult::Optimality::kExact);
+  EXPECT_EQ(r_without.optimality, OptimalPebbleResult::Optimality::kExact);
+  EXPECT_GE(r_with.min_io, 12);
+  EXPECT_LE(r_with.min_io, r_without.min_io);
+}
+
+TEST(OptimalPebble, BudgetExceededReturnsCertifiedLowerBound) {
+  // A starved state budget must not throw: the solver reports the
+  // frontier's minimum f — a valid lower bound on the optimum — tagged
+  // budget_exceeded.  dot_product at M=3 has optimum 7 and admissible
+  // root h of 5, so the bound lands in [5, 7].
+  OptimalPebbleOptions options;
+  options.cache_size = 3;
+  options.max_states = 4;
+  const auto result = optimal_io(dot_product(), options);
+  EXPECT_EQ(result.optimality,
+            OptimalPebbleResult::Optimality::kBudgetExceeded);
+  EXPECT_GE(result.min_io, 5);
+  EXPECT_LE(result.min_io, 7);
+}
+
+TEST(OptimalPebble, RootLowerBoundPreservesOptimum) {
+  // An external certified bound prunes but never changes an exact answer,
+  // whether it is slack or tight.
+  for (const std::int64_t root : {0, 3, 5}) {
+    OptimalPebbleOptions options;
+    options.cache_size = 4;
+    options.root_lower_bound = root;
+    EXPECT_EQ(optimal_io(dot_product(), options).min_io, 5)
+        << "root=" << root;
+  }
+}
+
+TEST(OptimalPebble, OptimalityNames) {
+  EXPECT_STREQ(optimality_name(OptimalPebbleResult::Optimality::kExact),
+               "exact");
+  EXPECT_STREQ(
+      optimality_name(OptimalPebbleResult::Optimality::kBudgetExceeded),
+      "budget_exceeded");
 }
 
 TEST(OptimalPebble, RandomInstanceShape) {

@@ -1,0 +1,174 @@
+// Property/fuzz battery for the scheme loader (bilinear/scheme.hpp): a
+// seeded mutator corrupts every zoo file — flipping one coefficient
+// digit, dropping a required scalar field, or breaking the JSON
+// structure outright — and load_scheme_file must REFUSE every mutant
+// with a single-line CheckError (the Brent verifier catches coefficient
+// flips; the parser catches the rest).  No mutant may crash the loader
+// and no mutant may be accepted.  Runs under the sanitize preset in CI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bilinear/scheme.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fmm::bilinear {
+namespace {
+
+std::string zoo_path(const std::string& file) {
+  return std::string(FMM_SOURCE_ROOT) + "/schemes/" + file;
+}
+
+const std::vector<std::string>& zoo_files() {
+  static const std::vector<std::string> files = {
+      "strassen_222_7.json",
+      "hk_style_222_7.json",
+      "laderman_333_23.json",
+      "rect_336_46.json",
+  };
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string write_mutant(const std::string& text, const std::string& tag) {
+  const std::string path =
+      std::string(testing::TempDir()) + "fuzz_" + tag + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.close();
+  return path;
+}
+
+/// Flips one coefficient digit inside the u/v/w matrix region (after
+/// the `"u"` key, so name/n/m/p/rank stay intact).  The Brent identity
+/// pins every coefficient, so any flip must be refused by the verifier.
+std::string flip_coefficient(const std::string& text, Rng& rng) {
+  const std::size_t matrices = text.find("\"u\"");
+  EXPECT_NE(matrices, std::string::npos);
+  std::vector<std::size_t> digit_positions;
+  for (std::size_t i = matrices; i < text.size(); ++i) {
+    if (text[i] >= '0' && text[i] <= '9') {
+      digit_positions.push_back(i);
+    }
+  }
+  EXPECT_FALSE(digit_positions.empty());
+  std::string mutant = text;
+  const std::size_t pos =
+      digit_positions[rng.uniform(digit_positions.size())];
+  const char digit = mutant[pos];
+  mutant[pos] = digit == '9' ? '0' : static_cast<char>(digit + 1);
+  return mutant;
+}
+
+/// Removes the whole line carrying one required scalar field — the
+/// pretty-printed zoo keeps one scalar per line, so this is a clean
+/// "field missing" mutation the parser must reject.
+std::string drop_field(const std::string& text, Rng& rng) {
+  static const std::vector<std::string> fields = {
+      "\"schema\"", "\"schema_version\"", "\"name\"",
+      "\"n\"",      "\"m\"",              "\"p\"",
+      "\"rank\"",
+  };
+  const std::string& field = fields[rng.uniform(fields.size())];
+  const std::size_t key = text.find(field);
+  EXPECT_NE(key, std::string::npos) << field;
+  const std::size_t line_start = text.rfind('\n', key);
+  const std::size_t line_end = text.find('\n', key);
+  EXPECT_NE(line_start, std::string::npos);
+  EXPECT_NE(line_end, std::string::npos);
+  return text.substr(0, line_start) + text.substr(line_end);
+}
+
+/// Structural corruption: truncate mid-document or knock out one
+/// syntax-bearing character ({ } [ ] , ").
+std::string corrupt_structure(const std::string& text, Rng& rng) {
+  if (rng.uniform(2) == 0) {
+    const std::size_t keep = 1 + rng.uniform(text.size() - 2);
+    return text.substr(0, keep);
+  }
+  std::vector<std::size_t> syntax_positions;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (ch == '{' || ch == '}' || ch == '[' || ch == ']' || ch == ',' ||
+        ch == '"') {
+      syntax_positions.push_back(i);
+    }
+  }
+  EXPECT_FALSE(syntax_positions.empty());
+  std::string mutant = text;
+  mutant.erase(syntax_positions[rng.uniform(syntax_positions.size())],
+               1);
+  return mutant;
+}
+
+void expect_refused(const std::string& mutant, const std::string& tag) {
+  SCOPED_TRACE(tag);
+  const std::string path = write_mutant(mutant, tag);
+  try {
+    (void)load_scheme_file(path);
+    FAIL() << "mutant was ACCEPTED: " << tag;
+  } catch (const CheckError& e) {
+    // One actionable line: usable verbatim as a usage_error message.
+    const std::string what = e.what();
+    EXPECT_FALSE(what.empty());
+    EXPECT_EQ(what.find('\n'), std::string::npos)
+        << "multi-line refusal: " << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SchemeFuzz, CoefficientFlipsAreRefusedByBrentVerifier) {
+  for (const std::string& file : zoo_files()) {
+    const std::string text = slurp(zoo_path(file));
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      Rng rng(seed);
+      expect_refused(flip_coefficient(text, rng),
+                     file + "_flip_seed" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(SchemeFuzz, DroppedFieldsAreRefused) {
+  for (const std::string& file : zoo_files()) {
+    const std::string text = slurp(zoo_path(file));
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      Rng rng(seed);
+      expect_refused(drop_field(text, rng),
+                     file + "_drop_seed" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(SchemeFuzz, StructuralCorruptionIsRefused) {
+  for (const std::string& file : zoo_files()) {
+    const std::string text = slurp(zoo_path(file));
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Rng rng(seed);
+      expect_refused(corrupt_structure(text, rng),
+                     file + "_struct_seed" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(SchemeFuzz, PristineZooStillLoads) {
+  // Sanity anchor for the battery above: the unmutated files verify,
+  // so every refusal really is caused by the mutation.
+  for (const std::string& file : zoo_files()) {
+    EXPECT_NO_THROW((void)load_scheme_file(zoo_path(file))) << file;
+  }
+}
+
+}  // namespace
+}  // namespace fmm::bilinear

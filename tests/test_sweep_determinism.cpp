@@ -7,6 +7,7 @@
 // terminate-on-throw pool behaviour.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -190,6 +191,106 @@ TEST(SweepDeterminism, UnknownAlgorithmFailsUpFront) {
   spec.n_grid = {4};
   spec.m_grid = {16};
   EXPECT_THROW(run_sweep(spec), CheckError);
+}
+
+SweepSpec optimal_spec() {
+  // n=2 full Strassen CDAG (33 vertices) at M values where both the
+  // search stays exact within the default budget AND the simulator
+  // accepts the cell, plus n=4 (343 vertices, beyond the 64-vertex
+  // oracle) whose optimal cells must become structured skips.
+  SweepSpec spec;
+  spec.algorithms = {"strassen"};
+  spec.n_grid = {2, 4};
+  spec.m_grid = {12, 16};
+  spec.kinds = {TaskKind::kOptimal, TaskKind::kSimulate,
+                TaskKind::kBoundCheck};
+  spec.base_seed = 42;
+  return spec;
+}
+
+TEST(SweepDeterminism, OptimalKindIsByteIdenticalAcrossThreadCounts) {
+  SweepSpec spec = optimal_spec();
+  spec.num_threads = 1;
+  const SweepResult serial = run_sweep(spec);
+  const std::string reference = serial.to_json();
+  EXPECT_EQ(serial.optimal_cells, 2u);
+  EXPECT_EQ(serial.optimal_exact, 2u);
+  EXPECT_EQ(serial.optimal_chains_checked, 2u);
+  EXPECT_TRUE(serial.all_chains_hold);
+  for (const std::size_t threads : {2u, 8u}) {
+    spec.num_threads = threads;
+    EXPECT_EQ(run_sweep(spec).to_json(), reference)
+        << "optimal sweep diverged at " << threads << " threads";
+  }
+}
+
+TEST(SweepDeterminism, OptimalKindIsByteIdenticalColdAndWarmCache) {
+  SweepSpec spec = optimal_spec();
+  spec.num_threads = 2;
+  const std::string reference = run_sweep(spec).to_json();
+  service::CacheConfig cache_config;
+  cache_config.memory_budget_bytes = 256u << 20;
+  service::ContentCache cache(cache_config);
+  service::CachingCdagSource source(cache);
+  // First run populates the cache (cold), second answers from it
+  // (warm); both must match the uncached reference byte for byte.
+  EXPECT_EQ(run_sweep(spec, source).to_json(), reference) << "cold cache";
+  EXPECT_EQ(run_sweep(spec, source).to_json(), reference) << "warm cache";
+}
+
+TEST(SweepDeterminism, OptimalInfeasibleCellsSkipInsteadOfAborting) {
+  // Regression: an optimal cell the oracle cannot attempt — M too small
+  // to ever pebble (M=1), or more than 64 vertices (n=4) — must record
+  // a structured `infeasible` skip, not abort the sweep, even in
+  // fail-fast (keep_going = false) mode.
+  SweepSpec spec;
+  spec.algorithms = {"strassen"};
+  spec.n_grid = {2, 4};
+  spec.m_grid = {1, 12};
+  spec.kinds = {TaskKind::kOptimal};
+  spec.num_threads = 2;
+  const SweepResult result = run_sweep(spec);
+  EXPECT_EQ(result.num_tasks, 4u);
+  EXPECT_EQ(result.failed, 0u);
+  // Only (n=2, M=12) is solvable; the other three cells skip.
+  EXPECT_EQ(result.skipped, 3u);
+  EXPECT_EQ(result.optimal_cells, 1u);
+  for (const TaskResult& task : result.tasks) {
+    EXPECT_TRUE(task.ok) << task.error;
+    if (task.skipped) {
+      EXPECT_EQ(task.skip_reason, "infeasible")
+          << "n=" << task.cell.n << " M=" << task.cell.m;
+    } else {
+      EXPECT_EQ(task.cell.n, 2u);
+      EXPECT_EQ(task.cell.m, 12);
+      EXPECT_EQ(task.optimality, "exact");
+      EXPECT_GT(task.states_explored, 0);
+    }
+  }
+}
+
+TEST(SweepDeterminism, OptimalRowRoundTripsThroughCheckpoint) {
+  // The checkpoint loader must restore optimal-row payload fields
+  // byte-exactly (the load path asserts raw-row identity itself).
+  SweepSpec spec;
+  spec.algorithms = {"strassen"};
+  spec.n_grid = {2};
+  spec.m_grid = {12};
+  spec.kinds = {TaskKind::kOptimal};
+  spec.checkpoint_path =
+      std::string(testing::TempDir()) + "optimal_ckpt.jsonl";
+  const SweepResult first = run_sweep(spec);
+  ASSERT_EQ(first.tasks.size(), 1u);
+  spec.resume = true;
+  const SweepResult resumed = run_sweep(spec);
+  ASSERT_EQ(resumed.tasks.size(), 1u);
+  EXPECT_EQ(resumed.tasks[0].min_io, first.tasks[0].min_io);
+  EXPECT_EQ(resumed.tasks[0].states_explored,
+            first.tasks[0].states_explored);
+  EXPECT_EQ(resumed.tasks[0].optimality, first.tasks[0].optimality);
+  EXPECT_EQ(task_row_json(resumed.tasks[0]),
+            task_row_json(first.tasks[0]));
+  std::remove(spec.checkpoint_path.c_str());
 }
 
 TEST(SweepDeterminism, SimulatePayloadMatchesDirectSimulation) {
