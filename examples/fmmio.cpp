@@ -11,7 +11,8 @@
 //   fmmio cdag     <algorithm> --n N [--dot]
 //   fmmio parallel --n N --p P [--m M]
 //                  [--faults] [--drop-rate R] [--wipes P@STEP,...]
-//                  [--wipe-count K] [--seed S] [--out report.json]
+//                  [--wipe-count K] [--max-retransmissions K] [--seed S]
+//                  [--out report.json]
 //   fmmio sweep    --alg A[,A2,...] --n N1[,N2,...] --m M1[,M2,...]
 //                  [--kinds simulate,liveness,dominator,boundcheck,optimal]
 //                  [--schedule dfs|bfs|random] [--policy lru|opt] [--remat]
@@ -25,6 +26,16 @@
 //                  [--cache-shards S] [--deadline-ticks D]
 //                  [--slow-ms MS] [--telemetry-ring N]
 //                  [--socket PATH] [--out report.json]
+//   fmmio worker   [--threads T] [--queue Q] [--cache-bytes B]
+//                  [--cache-shards S] [--deadline-ticks D]
+//                  [--out report.json]
+//   fmmio router   [--workers N] [--queue-depth Q] [--retries K]
+//                  [--backoff-base T] [--backoff-mult X]
+//                  [--max-respawns R] [--heartbeat-ms MS]
+//                  [--transport inproc|process] [--worker-cmd PATH]
+//                  [--kill K@J,...] [--drop-rate R] [--chaos-seed S]
+//                  [--threads T] [--cache-bytes B] [--deadline-ticks D]
+//                  [--out report.json]
 //   fmmio query    --op OP [--id I] [--alg A] [--n N] [--m M] [--p P]
 //                  [--schedule dfs|bfs|random] [--policy lru|opt]
 //                  [--remat] [--seed S] [--connect SOCKET] [--print]
@@ -47,6 +58,11 @@
 // socket) through a content-addressed CDAG/result cache; `query`
 // composes one request and either answers it in-process (same cache
 // code path) or sends it to a running daemon (docs/SERVICE.md).
+// `router` shards the same protocol across N supervised workers with
+// requeue-on-death and seeded chaos (docs/FABRIC.md); `worker` is the
+// stdin/stdout daemon the process transport spawns.  serve, worker and
+// router all drain gracefully on SIGTERM/SIGINT: in-flight requests
+// are answered (responded == requests) before exit.
 // `metrics` scrapes a daemon's Prometheus-style text exposition and
 // `tail` streams its recent-request / slow-query spans as NDJSON
 // (docs/OBSERVABILITY.md; `tools/fmm_top.py` builds a live dashboard
@@ -56,14 +72,17 @@
 // --trace (or --out with tracing compiled in) writes a Chrome
 // trace-event JSON viewable in Perfetto.
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #ifdef __unix__
 #include <sys/socket.h>
@@ -83,6 +102,8 @@
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "fabric/router.hpp"
+#include "fabric/transport.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -700,6 +721,12 @@ int cmd_parallel(const Args& args) {
                   args.get("drop-rate", "0"));
     }
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const std::int64_t max_retransmissions =
+        args.get_int("max-retransmissions", 64);
+    if (max_retransmissions < 1) {
+      usage_error("parallel: --max-retransmissions must be >= 1, got " +
+                  std::to_string(max_retransmissions));
+    }
     resilience::FaultSpec fault_spec;
     if (args.has("wipes")) {
       fault_spec.seed = seed;
@@ -726,6 +753,8 @@ int cmd_parallel(const Args& args) {
           seed, static_cast<int>(p), std::max(1, clean.bfs_steps),
           wipe_count, drop_rate);
     }
+    fault_spec.max_retransmissions =
+        static_cast<int>(max_retransmissions);
     const auto fr =
         parallel::simulate_caps_elementwise_faulted(n, p, fault_spec);
     std::printf("  fault injection: seed=%llu drop-rate=%g wipes=%zu "
@@ -1056,13 +1085,47 @@ service::ServiceConfig service_config_from(const Args& args,
   return config;
 }
 
-int cmd_serve(const Args& args) {
+// SIGTERM/SIGINT request a graceful drain, not an abort: the handler
+// only flips a sig_atomic_t that serve loops poll.  Installed WITHOUT
+// SA_RESTART so a read blocked on stdin (or a socket accept) fails
+// with EINTR and the drain path runs — in-flight requests are still
+// answered and the run report is still written.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int /*signum*/) { g_stop_requested = 1; }
+
+void install_stop_signals() {
+#ifdef __unix__
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked reads must EINTR
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+#else
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+#endif
+}
+
+/// Shared by `serve` and `worker` (the daemon the process transport
+/// spawns): one NDJSON session over stdin/stdout or a Unix socket,
+/// signal-safe graceful shutdown, optional run report.
+int run_service_session(const Args& args, const char* command) {
   const obs::ReportCli cli = report_cli_from(args);
   obs::Registry::instance().reset();
-  service::QueryService service(service_config_from(args, "serve"));
+  install_stop_signals();
+  service::ServiceConfig config = service_config_from(args, command);
+  config.stop_flag = &g_stop_requested;
+  service::QueryService service(config);
   bool shutdown = false;
   if (args.has("socket")) {
 #ifdef __unix__
+    if (std::string(command) != "serve") {
+      usage_error(std::string(command) +
+                  ": --socket is a serve-only flag (workers speak "
+                  "stdin/stdout to their router)");
+    }
     shutdown = service.serve_unix_socket(args.get("socket", ""));
 #else
     usage_error("serve: --socket needs a Unix platform; use stdin mode");
@@ -1071,7 +1134,7 @@ int cmd_serve(const Args& args) {
     shutdown = service.serve(std::cin, std::cout);
   }
   if (cli.wants_report() || !cli.trace_path.empty()) {
-    obs::RunReport report("fmmio.serve");
+    obs::RunReport report(std::string("fmmio.") + command);
     report.set_param("threads",
                      static_cast<std::int64_t>(
                          service.config().num_threads));
@@ -1083,7 +1146,164 @@ int cmd_serve(const Args& args) {
             service.config().cache.memory_budget_bytes));
     report.set_param("deadline_ticks", service.config().deadline_ticks);
     report.set_result("shutdown_requested", shutdown);
+    report.set_result("stopped_by_signal", g_stop_requested != 0);
     service.attach_to(report);
+    obs::finalize_run(cli, report);
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  return run_service_session(args, "serve");
+}
+
+int cmd_worker(const Args& args) {
+  return run_service_session(args, "worker");
+}
+
+/// Parses --kill "K@J[,K@J...]" into chaos kill events (kill worker K
+/// after it has dispatched J requests).
+std::vector<fabric::KillEvent> parse_kill_events(const std::string& text) {
+  std::vector<fabric::KillEvent> kills;
+  std::istringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const auto at = token.find('@');
+    if (token.empty() || at == std::string::npos || at == 0 ||
+        at + 1 >= token.size()) {
+      usage_error("router: --kill wants K@J[,K@J...] (kill worker K "
+                  "after J dispatches), got '" + token + "'");
+    }
+    fabric::KillEvent kill;
+    try {
+      kill.worker = static_cast<std::size_t>(
+          std::stoll(token.substr(0, at)));
+      kill.after_requests = std::stoll(token.substr(at + 1));
+    } catch (const std::exception&) {
+      usage_error("router: --kill wants numeric K@J, got '" + token + "'");
+    }
+    kills.push_back(kill);
+  }
+  return kills;
+}
+
+int cmd_router(const Args& args) {
+  const obs::ReportCli cli = report_cli_from(args);
+  obs::Registry::instance().reset();
+  install_stop_signals();
+
+  fabric::FabricConfig config;
+  const std::int64_t workers = args.get_int("workers", 4);
+  if (workers < 1) {
+    usage_error("router: --workers must be >= 1, got " +
+                std::to_string(workers));
+  }
+  config.num_workers = static_cast<std::size_t>(workers);
+  const std::int64_t depth = args.get_int("queue-depth", 64);
+  if (depth < 1) {
+    usage_error("router: --queue-depth must be >= 1, got " +
+                std::to_string(depth));
+  }
+  config.worker_queue_depth = static_cast<std::size_t>(depth);
+  const std::int64_t retries = args.get_int("retries", 3);
+  if (retries < 1) {
+    usage_error("router: --retries must be >= 1 (total attempts per "
+                "request), got " + std::to_string(retries));
+  }
+  config.retry.max_attempts = static_cast<int>(retries);
+  config.retry.base_backoff_ticks = args.get_int("backoff-base", 1);
+  config.retry.backoff_multiplier =
+      static_cast<int>(args.get_int("backoff-mult", 2));
+  if (config.retry.base_backoff_ticks < 0 ||
+      config.retry.backoff_multiplier < 1) {
+    usage_error("router: --backoff-base must be >= 0 and "
+                "--backoff-mult >= 1");
+  }
+  const std::int64_t respawns = args.get_int("max-respawns", 2);
+  if (respawns < 0) {
+    usage_error("router: --max-respawns must be >= 0, got " +
+                std::to_string(respawns));
+  }
+  config.max_respawns = static_cast<int>(respawns);
+  const std::int64_t heartbeat = args.get_int("heartbeat-ms", 0);
+  if (heartbeat < 0) {
+    usage_error("router: --heartbeat-ms must be >= 0 (0 disables), got " +
+                std::to_string(heartbeat));
+  }
+  config.heartbeat_interval_ms = static_cast<int>(heartbeat);
+  config.chaos.seed =
+      static_cast<std::uint64_t>(args.get_int("chaos-seed", 1));
+  const double drop_rate = std::atof(args.get("drop-rate", "0").c_str());
+  if (drop_rate < 0.0 || drop_rate >= 1.0) {
+    usage_error("router: --drop-rate must be in [0, 1), got " +
+                args.get("drop-rate", "0"));
+  }
+  config.chaos.drop_response_rate = drop_rate;
+  if (args.has("kill")) {
+    config.chaos.kills = parse_kill_events(args.get("kill", ""));
+  }
+  config.stop_flag = &g_stop_requested;
+
+  service::ServiceConfig worker_config =
+      service_config_from(args, "router");
+  if (!args.has("threads")) {
+    worker_config.num_threads = 1;  // N single-threaded workers
+  }
+
+  const std::string transport_name = args.get("transport", "inproc");
+  std::unique_ptr<fabric::Transport> transport;
+  if (transport_name == "inproc") {
+    transport =
+        std::make_unique<fabric::InProcessTransport>(worker_config);
+  } else if (transport_name == "process") {
+#ifdef __unix__
+    std::string worker_cmd = args.get("worker-cmd", "");
+    if (worker_cmd.empty()) {
+      char exe[4096];
+      const ssize_t got =
+          readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+      if (got <= 0) {
+        usage_error("router: cannot resolve /proc/self/exe; pass "
+                    "--worker-cmd PATH");
+      }
+      exe[got] = '\0';
+      worker_cmd = exe;
+    }
+    std::vector<std::string> worker_argv = {worker_cmd, "worker"};
+    for (const char* flag :
+         {"threads", "queue", "cache-bytes", "cache-shards",
+          "deadline-ticks"}) {
+      if (args.has(flag)) {
+        worker_argv.push_back(std::string("--") + flag);
+        worker_argv.push_back(args.get(flag, ""));
+      }
+    }
+    if (!args.has("threads")) {
+      worker_argv.push_back("--threads");
+      worker_argv.push_back("1");
+    }
+    transport = std::make_unique<fabric::ProcessTransport>(worker_argv);
+#else
+    usage_error("router: --transport process needs a Unix platform");
+#endif
+  } else {
+    usage_error("router: --transport must be inproc or process, got '" +
+                transport_name + "'");
+  }
+
+  fabric::Router router(config, *transport);
+  const bool shutdown = router.serve(std::cin, std::cout);
+
+  if (cli.wants_report() || !cli.trace_path.empty()) {
+    obs::RunReport report("fmmio.router");
+    report.set_param("workers", static_cast<std::int64_t>(workers));
+    report.set_param("transport", transport_name);
+    report.set_param("queue_depth", static_cast<std::int64_t>(depth));
+    report.set_param("retries", static_cast<std::int64_t>(retries));
+    report.set_param("max_respawns", static_cast<std::int64_t>(respawns));
+    report.set_result("shutdown_requested", shutdown);
+    report.set_result("stopped_by_signal", g_stop_requested != 0);
+    router.attach_to(report);
     obs::finalize_run(cli, report);
   }
   return 0;
@@ -1427,8 +1647,8 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: fmmio <list|certify|bounds|simulate|optimal|cdag|"
-                 "parallel|sweep|serve|query|metrics|tail|scheme|version> "
-                 "[args]\n");
+                 "parallel|sweep|serve|worker|router|query|metrics|tail|"
+                 "scheme|version> [args]\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -1442,6 +1662,8 @@ int main(int argc, char** argv) {
     if (command == "parallel") return cmd_parallel(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "worker") return cmd_worker(args);
+    if (command == "router") return cmd_router(args);
     if (command == "query") return cmd_query(args);
     if (command == "metrics") return cmd_metrics(args);
     if (command == "tail") return cmd_tail(args);

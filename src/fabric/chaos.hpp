@@ -1,0 +1,69 @@
+// Seeded fault injection for the service fabric.
+//
+// Failures are deterministic functions of the chaos seed, never of
+// wall-clock or scheduling:
+//
+//   kills  — "kill worker k after it has dispatched j requests".  The
+//     engine fires each event exactly once, immediately before worker
+//     k's (j+1)-th send; the router hard-kills the channel, so that
+//     send fails and the request takes the requeue + respawn path.  A
+//     respawned worker is a fresh slot — already-fired events stay
+//     fired.
+//
+//   response drops — after a worker answered, the response is
+//     discarded with probability drop_response_rate, decided by
+//     splitmix64(seed, request_seq, attempt).  The router resends the
+//     same request line; the canonical-request byte-identity contract
+//     makes the retry indistinguishable from the first answer.
+//
+// Both knobs leave response bytes untouched — chaos can only delay or
+// reroute work, which is exactly what the byte-identity gate certifies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fmm::fabric {
+
+/// Kill worker `worker` once it has dispatched `after_requests` sends.
+struct KillEvent {
+  std::size_t worker = 0;
+  std::int64_t after_requests = 0;
+};
+
+struct ChaosSpec {
+  std::uint64_t seed = 1;
+  std::vector<KillEvent> kills;
+  double drop_response_rate = 0.0;  // in [0, 1)
+
+  bool any() const { return !kills.empty() || drop_response_rate > 0.0; }
+};
+
+/// Throws CheckError when the spec is out of range (rate outside
+/// [0, 1), negative kill coordinates).
+void validate(const ChaosSpec& spec);
+
+/// Deterministic decision engine; thread-safe (dispatchers race on it).
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(ChaosSpec spec);
+
+  /// True exactly once per matching kill event: worker has dispatched
+  /// `dispatched` requests and is about to send the next one.
+  bool should_kill(std::size_t worker, std::int64_t dispatched);
+
+  /// Seeded per-(request, attempt) response-drop decision.
+  bool should_drop_response(std::uint64_t request_seq, int attempt) const;
+
+  std::int64_t kills_fired() const;
+
+ private:
+  ChaosSpec spec_;
+  std::vector<bool> fired_;
+  mutable std::mutex mutex_;
+  std::int64_t kills_fired_ = 0;
+};
+
+}  // namespace fmm::fabric

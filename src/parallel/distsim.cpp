@@ -114,7 +114,8 @@ class Simulator {
       log->emplace_back(from, to);
     }
     if (injector_ != nullptr) {
-      const int extra = injector_->retransmissions(transfer_counter_++);
+      const int extra = injector_->retransmissions(transfer_counter_++,
+                                                   current_step_, to);
       if (extra > 0) {
         result_.sent[static_cast<std::size_t>(from)] += extra;
         result_.received[static_cast<std::size_t>(to)] += extra;
@@ -150,8 +151,12 @@ class Simulator {
     }
 
     // This node's BFS step id (0-based pre-order), the coordinate wipe
-    // events are pinned to.
+    // events are pinned to.  current_step_ tracks it through the
+    // recursion so every transfer carries its (step, processor)
+    // coordinate into the fault injector's diagnostics.
     const int step = result_.bfs_steps++;
+    const int parent_step = current_step_;
+    current_step_ = step;
     const std::int64_t sub = s / 2;
     const std::size_t sub_elems = static_cast<std::size_t>(sub * sub);
 
@@ -216,6 +221,9 @@ class Simulator {
       owner_c_r[r] =
           multiply(sub, subgroup[r], target_layouts[r], target_layouts[r]);
     }
+    // Decode transfers below belong to THIS node's step, not the last
+    // child's.
+    current_step_ = step;
 
     // Decode: C quadrant elements are combined at the parent layout's
     // owner; every product element held elsewhere is sent there.
@@ -231,6 +239,7 @@ class Simulator {
         }
       }
     }
+    current_step_ = parent_step;
     return owner_c;
   }
 
@@ -238,6 +247,7 @@ class Simulator {
   std::int64_t c_;
   const resilience::FaultInjector* injector_ = nullptr;
   std::uint64_t transfer_counter_ = 0;
+  int current_step_ = -1;  // -1 until the first recursive node
   std::int64_t retransmitted_words_ = 0;
   std::int64_t recovery_words_ = 0;
   std::vector<resilience::FaultEvent> events_;

@@ -144,6 +144,14 @@ class JsonParser {
       JsonValue key = parse_string();
       skip_ws();
       expect(':');
+      // Duplicate keys are ambiguous (first-wins vs last-wins differs
+      // per parser), so a request carrying them is rejected outright
+      // rather than silently resolved.  Nothing this repo emits ever
+      // duplicates a key.
+      for (const auto& member : v.members_) {
+        FMM_CHECK_MSG(member.first != key.scalar_,
+                      "json: duplicate key '" << key.scalar_ << "'");
+      }
       v.members_.emplace_back(key.scalar_, parse_value());
       skip_ws();
       if (try_consume('}')) {

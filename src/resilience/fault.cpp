@@ -59,21 +59,45 @@ FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {
                                       << ", step=" << wipe.step
                                       << ") must be non-negative");
   }
+  FMM_CHECK_MSG(spec_.max_retransmissions >= 1,
+                "max_retransmissions must be >= 1, got "
+                    << spec_.max_retransmissions);
 }
 
 int FaultInjector::retransmissions(std::uint64_t transfer_index) const {
+  return retransmissions(transfer_index, -1, -1);
+}
+
+int FaultInjector::retransmissions(std::uint64_t transfer_index, int step,
+                                   int processor) const {
   if (spec_.message_drop_rate <= 0.0) {
     return 0;
   }
   // Geometric: attempt k of this transfer drops iff its own stream draw
-  // lands below the rate.  Capped at 64 — at rate < 1 the cap is
-  // unreachable in practice but bounds the faulted cost defensively.
+  // lands below the rate, bounded by the spec's cap.  A transfer that
+  // is STILL dropping at the cap is a hard fault, not a truncation —
+  // report where it happened so the schedule is debuggable.
   int extra = 0;
-  while (extra < 64 &&
+  while (extra < spec_.max_retransmissions &&
          splitmix_unit(spec_.seed, transfer_index,
                        static_cast<std::uint64_t>(extra)) <
              spec_.message_drop_rate) {
     ++extra;
+  }
+  if (extra >= spec_.max_retransmissions &&
+      splitmix_unit(spec_.seed, transfer_index,
+                    static_cast<std::uint64_t>(extra)) <
+          spec_.message_drop_rate) {
+    std::ostringstream where;
+    if (step >= 0 || processor >= 0) {
+      where << " at step " << step << " on processor " << processor;
+    } else {
+      where << " (step/processor unknown)";
+    }
+    FMM_CHECK_MSG(false, "transfer "
+                             << transfer_index
+                             << " exceeded the retransmission cap of "
+                             << spec_.max_retransmissions << where.str());
   }
   return extra;
 }

@@ -47,6 +47,13 @@ struct FaultSpec {
   /// Scheduled memory wipes, applied when the simulation reaches the
   /// named BFS step.  Need not be sorted; reports sort by (step, proc).
   std::vector<WipeEvent> wipes;
+  /// Cap on retransmissions of a single transfer (>= 1).  A transfer
+  /// still dropping at the cap is a hard fault: retransmissions()
+  /// throws CheckError naming the failing (step, processor) coordinate
+  /// instead of silently truncating the geometric retry count.  The
+  /// default of 64 preserves the historic byte-for-byte behavior (at
+  /// rate < 1 the cap is unreachable in practice).
+  int max_retransmissions = 64;
 
   bool any_faults() const {
     return message_drop_rate > 0.0 || !wipes.empty();
@@ -90,8 +97,13 @@ class FaultInjector {
 
   /// How many extra times transfer number `transfer_index` must be
   /// re-sent before it gets through (0 = delivered first try).
-  /// Geometric in the drop rate, capped defensively at 64.
+  /// Geometric in the drop rate, bounded by spec.max_retransmissions:
+  /// a transfer still dropping at the cap throws CheckError carrying
+  /// the (step, processor) coordinate (pass -1 for unknown, as the
+  /// coordinate-free overload does).
   int retransmissions(std::uint64_t transfer_index) const;
+  int retransmissions(std::uint64_t transfer_index, int step,
+                      int processor) const;
 
   /// The processors wiped at BFS step `step` (sorted ascending;
   /// duplicates in the spec collapse to one wipe).

@@ -632,10 +632,16 @@ bool QueryService::serve(std::istream& in, std::ostream& out) {
 
   auto& queue_depth_gauge =
       obs::Registry::instance().gauge("service.queue_depth");
+  const auto stop_requested = [this] {
+    return config_.stop_flag != nullptr && *config_.stop_flag != 0;
+  };
   std::size_t seq = 0;
   bool shutdown = false;
   std::string line;
-  while (!shutdown && std::getline(in, line)) {
+  // A SIGTERM/SIGINT that sets stop_flag either interrupts the blocked
+  // getline (EINTR, no SA_RESTART) or is caught by the explicit check —
+  // both fall through to the same graceful drain as EOF/shutdown.
+  while (!shutdown && !stop_requested() && std::getline(in, line)) {
     if (blank(line)) {
       continue;
     }
@@ -914,8 +920,13 @@ bool QueryService::serve_unix_socket(const std::string& path) {
     FMM_CHECK_MSG(false, "service: cannot bind/listen on " << path);
   }
   FMM_LOG_INFO("service: listening on " << path);
+  const auto stop_requested = [this] {
+    return config_.stop_flag != nullptr && *config_.stop_flag != 0;
+  };
   bool shutdown = false;
-  while (!shutdown) {
+  while (!shutdown && !stop_requested()) {
+    // A signal arriving mid-accept fails it with EINTR (no SA_RESTART);
+    // the loop condition then notices stop_flag and winds down.
     const int client = ::accept(server, nullptr, nullptr);
     if (client < 0) {
       break;

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -86,6 +87,13 @@ struct ServiceConfig {
   std::size_t slow_log = 64;
   /// Requests whose total latency exceeds this land in the slow log.
   std::int64_t slow_ms = 100;
+  /// Cooperative shutdown flag, typically set by a SIGTERM/SIGINT
+  /// handler (hence sig_atomic_t).  When it becomes non-zero, serve()
+  /// stops reading and runs the normal graceful drain — every admitted
+  /// request is still answered (responded == requests) — and
+  /// serve_unix_socket() stops accepting.  The signal must be
+  /// installed WITHOUT SA_RESTART so a blocked read returns EINTR.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
 };
 
 /// Session tallies for stats responses and the extra.service report.

@@ -89,6 +89,64 @@ TEST(ResilienceFault, InjectorRejectsBadSpecs) {
   bad.message_drop_rate = 0.0;
   bad.wipes.push_back({-1, 0});
   EXPECT_THROW(resilience::FaultInjector{bad}, CheckError);
+  resilience::FaultSpec capless;
+  capless.max_retransmissions = 0;
+  EXPECT_THROW(resilience::FaultInjector{capless}, CheckError);
+  capless.max_retransmissions = -3;
+  EXPECT_THROW(resilience::FaultInjector{capless}, CheckError);
+}
+
+TEST(ResilienceFault, RetransmissionCapMatchesLegacyDefault) {
+  // The configurable cap defaults to the historical hard-coded 64:
+  // every count a legacy run produced is reproduced byte-for-byte.
+  resilience::FaultSpec legacy;
+  legacy.seed = 5;
+  legacy.message_drop_rate = 0.3;
+  EXPECT_EQ(legacy.max_retransmissions, 64);
+  resilience::FaultSpec widened = legacy;
+  widened.max_retransmissions = 1024;  // never reached at 30%
+  const resilience::FaultInjector a(legacy);
+  const resilience::FaultInjector b(widened);
+  for (std::uint64_t t = 0; t < 2000; ++t) {
+    EXPECT_EQ(a.retransmissions(t), b.retransmissions(t));
+  }
+}
+
+TEST(ResilienceFault, ExceededCapReportsStepAndProcessor) {
+  // cap=1 with a near-certain drop rate: some transfer keeps dropping
+  // past its cap, and the error must carry the (step, processor)
+  // coordinate the schedule is debugged by.
+  resilience::FaultSpec harsh;
+  harsh.seed = 9;
+  harsh.message_drop_rate = 0.99;
+  harsh.max_retransmissions = 1;
+  const resilience::FaultInjector injector(harsh);
+  bool threw = false;
+  for (std::uint64_t t = 0; t < 64 && !threw; ++t) {
+    try {
+      injector.retransmissions(t, 3, 5);
+    } catch (const CheckError& e) {
+      threw = true;
+      const std::string what = e.what();
+      EXPECT_NE(what.find("retransmission cap of 1"), std::string::npos);
+      EXPECT_NE(what.find("at step 3 on processor 5"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(threw) << "99% drop never exceeded a cap of 1";
+
+  // The coordinate-free overload still names the cap, but marks the
+  // location unknown instead of inventing one.
+  bool threw_unknown = false;
+  for (std::uint64_t t = 0; t < 64 && !threw_unknown; ++t) {
+    try {
+      injector.retransmissions(t);
+    } catch (const CheckError& e) {
+      threw_unknown = true;
+      EXPECT_NE(std::string(e.what()).find("(step/processor unknown)"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(threw_unknown);
 }
 
 TEST(ResilienceFault, EventsJsonIsSortedByStepThenProcessor) {

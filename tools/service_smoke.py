@@ -18,12 +18,17 @@ the outside:
     exits 0;
   - when a report path is given, the daemon wrote a run report there
     (validated separately by check_report_schema.py — see the
-    service_smoke_schema ctest fixture).
+    service_smoke_schema ctest fixture);
+  - a second session is ended by SIGTERM while its stdin is still open
+    (so only the signal can have stopped it): the daemon drains
+    gracefully — every admitted request answered, exit code 0 — and
+    its report records responded == requests and stopped_by_signal.
 
 Exit code 0 iff every assertion holds.
 """
 import json
 import re
+import signal
 import subprocess
 import sys
 
@@ -152,11 +157,58 @@ def main(argv):
         except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
             check(False, f"daemon report unreadable or incomplete: {exc}")
 
+    # --- SIGTERM drain phase -----------------------------------------
+    # A fresh session, stopped by signal rather than EOF or shutdown.
+    # stdin stays OPEN the whole time: if the daemon exits cleanly it
+    # can only be because the signal handler triggered the drain.
+    sig_requests = [
+        '{"id": 1, "op": "ping"}',
+        '{"id": 2, "op": "bound", "n": 64, "m": 32}',
+        '{"id": 3, "op": "simulate", "algorithm": "strassen", "n": 16, '
+        '"m": 64}',
+    ]
+    sig_report = report_path + ".sigterm.json" if report_path else None
+    cmd = [fmmio, "serve", "--threads", "2"]
+    if sig_report:
+        cmd += ["--out", sig_report]
+    daemon = subprocess.Popen(cmd, stdin=subprocess.PIPE,
+                              stdout=subprocess.PIPE, text=True)
+    try:
+        daemon.stdin.write("\n".join(sig_requests) + "\n")
+        daemon.stdin.flush()
+        sig_lines = [daemon.stdout.readline().strip()
+                     for _ in range(len(sig_requests))]
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=60)
+        check(rc == 0, f"SIGTERM exit code {rc}, want 0 (graceful drain)")
+        for i, line in enumerate(sig_lines):
+            check(line.startswith('{"id": '),
+                  f"SIGTERM-phase response {i} malformed: {line}")
+        if sig_report:
+            try:
+                with open(sig_report, "r", encoding="utf-8") as f:
+                    results = json.load(f)["results"]
+                check(results["service_responded"] ==
+                      results["service_requests"] == len(sig_requests),
+                      f"SIGTERM drain dropped requests: {results}")
+                check(results.get("stopped_by_signal") is True,
+                      "report does not record stopped_by_signal")
+            except (OSError, json.JSONDecodeError, KeyError,
+                    TypeError) as exc:
+                check(False, f"SIGTERM report unreadable: {exc}")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        daemon.stdin.close()
+        daemon.stdout.close()
+
     for msg in failures:
         print(f"service_smoke: {msg}", file=sys.stderr)
     if not failures:
         print(f"service_smoke: OK ({len(requests)} requests, ordered, "
-              "byte-identical warm duplicates, graceful drain)")
+              "byte-identical warm duplicates, graceful drain, "
+              "SIGTERM drain)")
     return 1 if failures else 0
 
 
