@@ -7,7 +7,8 @@
 //                  [--policy lru|opt] [--remat] [--write-cost W]
 //                  [--out report.json] [--trace trace.json]
 //   fmmio optimal  <algorithm> --n N --m M [--remat]
-//                  [--max-states K] [--out report.json]
+//                  [--max-states K] [--snapshot-dir DIR]
+//                  [--snapshot-budget B] [--out report.json]
 //   fmmio cdag     <algorithm> --n N [--dot]
 //   fmmio parallel --n N --p P [--m M]
 //                  [--faults] [--drop-rate R] [--wipes P@STEP,...]
@@ -21,13 +22,16 @@
 //                  [--deadline-ticks D] [--inject-failures R]
 //                  [--inject-seed S] [--max-cell-bytes B]
 //                  [--checkpoint path.jsonl] [--checkpoint-every K]
-//                  [--cache-bytes B] [--resume] [--out report.json]
+//                  [--cache-bytes B] [--resume] [--snapshot-dir DIR]
+//                  [--snapshot-budget B] [--out report.json]
 //   fmmio serve    [--threads T] [--queue Q] [--cache-bytes B]
 //                  [--cache-shards S] [--deadline-ticks D]
 //                  [--slow-ms MS] [--telemetry-ring N]
+//                  [--snapshot-dir DIR] [--snapshot-budget B]
 //                  [--socket PATH] [--out report.json]
 //   fmmio worker   [--threads T] [--queue Q] [--cache-bytes B]
 //                  [--cache-shards S] [--deadline-ticks D]
+//                  [--snapshot-dir DIR] [--snapshot-budget B]
 //                  [--out report.json]
 //   fmmio router   [--workers N] [--queue-depth Q] [--retries K]
 //                  [--backoff-base T] [--backoff-mult X]
@@ -35,6 +39,7 @@
 //                  [--transport inproc|process] [--worker-cmd PATH]
 //                  [--kill K@J,...] [--drop-rate R] [--chaos-seed S]
 //                  [--threads T] [--cache-bytes B] [--deadline-ticks D]
+//                  [--snapshot-dir DIR] [--snapshot-budget B]
 //                  [--out report.json]
 //   fmmio query    --op OP [--id I] [--alg A] [--n N] [--m M] [--p P]
 //                  [--schedule dfs|bfs|random] [--policy lru|opt]
@@ -118,6 +123,7 @@
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
 #include "service/service.hpp"
+#include "snapshot/store.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -280,6 +286,40 @@ obs::ReportCli report_cli_from(const Args& args) {
     obs::enable_tracing_if_available();
   }
   return cli;
+}
+
+/// --snapshot-dir DIR for commands that mount the shared on-disk
+/// snapshot store (docs/SNAPSHOTS.md).
+std::string require_snapshot_dir(const Args& args, const char* command) {
+  const std::string dir = args.get("snapshot-dir", "");
+  if (dir.empty() || dir == "true") {
+    usage_error(std::string(command) +
+                ": --snapshot-dir wants a directory path");
+  }
+  return dir;
+}
+
+std::uint64_t require_snapshot_budget(const Args& args,
+                                      const char* command) {
+  const std::int64_t budget = args.get_int("snapshot-budget", 0);
+  if (budget < 0) {
+    usage_error(std::string(command) + ": --snapshot-budget must be >= 0 "
+                "bytes (0 = unlimited), got " + std::to_string(budget));
+  }
+  return static_cast<std::uint64_t>(budget);
+}
+
+/// The optional store for single-shot commands (sweep/optimal); serve
+/// and router configure theirs through ServiceConfig instead.
+std::unique_ptr<snapshot::SnapshotStore> snapshot_store_from(
+    const Args& args, const char* command) {
+  if (!args.has("snapshot-dir")) {
+    return nullptr;
+  }
+  snapshot::SnapshotStoreConfig config;
+  config.directory = require_snapshot_dir(args, command);
+  config.byte_budget = require_snapshot_budget(args, command);
+  return std::make_unique<snapshot::SnapshotStore>(config);
 }
 
 int cmd_list() {
@@ -516,7 +556,8 @@ int cmd_optimal(const Args& args) {
   if (args.positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: fmmio optimal <algorithm> --n N --m M [--remat] "
-                 "[--max-states K] [--out report.json]\n");
+                 "[--max-states K] [--snapshot-dir DIR] "
+                 "[--out report.json]\n");
     return 2;
   }
   const obs::ReportCli cli = report_cli_from(args);
@@ -546,7 +587,24 @@ int cmd_optimal(const Args& args) {
       sweep::kBoundSlack);
   options.root_lower_bound = static_cast<std::int64_t>(floor_bound);
 
-  const cdag::Cdag cdag = cdag::build_cdag(alg, n);
+  // With a snapshot store mounted, reuse a published frozen CDAG (or
+  // publish the one we build) instead of always rebuilding — the
+  // branch-and-bound search dominates runtime, but at large n the build
+  // is minutes of avoidable work per process.
+  const std::unique_ptr<snapshot::SnapshotStore> snapshot_store =
+      snapshot_store_from(args, "optimal");
+  cdag::Cdag cdag;
+  if (snapshot_store != nullptr) {
+    if (std::optional<cdag::Cdag> loaded =
+            snapshot_store->try_load(traits.fingerprint, n)) {
+      cdag = std::move(*loaded);
+    } else {
+      cdag = cdag::build_cdag(alg, n);
+      snapshot_store->publish(traits.fingerprint, n, cdag);
+    }
+  } else {
+    cdag = cdag::build_cdag(alg, n);
+  }
   pebble::OptimalPebbleResult result;
   try {
     result = pebble::optimal_io(pebble::to_instance(cdag), options);
@@ -586,6 +644,10 @@ int cmd_optimal(const Args& args) {
     report.set_result("lower_bound", options.root_lower_bound);
     report.set_result("bound_holds",
                       result.min_io >= options.root_lower_bound);
+    if (snapshot_store != nullptr) {
+      report.set_param("snapshot_dir", snapshot_store->directory());
+      report.add_raw_section("snapshot", snapshot_store->stats_json());
+    }
     obs::finalize_run(cli, report);
   }
   return 0;
@@ -965,7 +1027,9 @@ int cmd_sweep(const Args& args) {
   service::CacheConfig cache_config;
   cache_config.memory_budget_bytes = static_cast<std::size_t>(cache_bytes);
   service::ContentCache cache(cache_config);
-  service::CachingCdagSource cdag_source(cache);
+  const std::unique_ptr<snapshot::SnapshotStore> snapshot_store =
+      snapshot_store_from(args, "sweep");
+  service::CachingCdagSource cdag_source(cache, snapshot_store.get());
   const sweep::SweepResult result = sweep::run_sweep(spec, cdag_source);
 
   std::printf("sweep: %zu tasks on %zu thread(s) in %.3fs\n",
@@ -1024,6 +1088,10 @@ int cmd_sweep(const Args& args) {
                      static_cast<std::int64_t>(spec.num_threads));
     report.set_param("seed", static_cast<std::int64_t>(spec.base_seed));
     result.attach_to(report);
+    if (snapshot_store != nullptr) {
+      report.set_param("snapshot_dir", snapshot_store->directory());
+      report.add_raw_section("snapshot", snapshot_store->stats_json());
+    }
     if (spec.resume) {
       // Restored rows never executed in this process, so the registry's
       // pebble counters legitimately undercount the report aggregate;
@@ -1082,6 +1150,10 @@ service::ServiceConfig service_config_from(const Args& args,
                 "got " + std::to_string(ring));
   }
   config.telemetry_ring = static_cast<std::size_t>(ring);
+  if (args.has("snapshot-dir")) {
+    config.snapshot_dir = require_snapshot_dir(args, command);
+    config.snapshot_budget_bytes = require_snapshot_budget(args, command);
+  }
   return config;
 }
 
@@ -1272,7 +1344,7 @@ int cmd_router(const Args& args) {
     std::vector<std::string> worker_argv = {worker_cmd, "worker"};
     for (const char* flag :
          {"threads", "queue", "cache-bytes", "cache-shards",
-          "deadline-ticks"}) {
+          "deadline-ticks", "snapshot-dir", "snapshot-budget"}) {
       if (args.has(flag)) {
         worker_argv.push_back(std::string("--") + flag);
         worker_argv.push_back(args.get(flag, ""));
@@ -1304,6 +1376,17 @@ int cmd_router(const Args& args) {
     report.set_result("shutdown_requested", shutdown);
     report.set_result("stopped_by_signal", g_stop_requested != 0);
     router.attach_to(report);
+    if (args.has("snapshot-dir")) {
+      // A fresh handle over the workers' shared directory: the census
+      // (files/bytes) is live; the snapshot.* counters are this
+      // process's — populated for the inproc transport, zero when the
+      // fork/exec workers did the loading (their own reports carry the
+      // per-worker tallies).
+      const std::unique_ptr<snapshot::SnapshotStore> store =
+          snapshot_store_from(args, "router");
+      report.set_param("snapshot_dir", store->directory());
+      report.add_raw_section("snapshot", store->stats_json());
+    }
     obs::finalize_run(cli, report);
   }
   return 0;

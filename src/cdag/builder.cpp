@@ -49,6 +49,17 @@ class Builder {
 
     cdag_.graph = gb_.freeze();
 
+    // Freeze the staging pools into the levels' FrozenArray views (the
+    // recursion is done mutating them).
+    for (std::size_t i = 0; i < staging_.size(); ++i) {
+      SubproblemLevel& level = cdag_.subproblem_levels[i];
+      level.output_pool = std::move(staging_[i].output_pool);
+      level.input_pool = std::move(staging_[i].input_pool);
+      level.span_begin = std::move(staging_[i].span_begin);
+      level.span_end = std::move(staging_[i].span_end);
+    }
+    staging_.clear();
+
     auto& registry = obs::Registry::instance();
     registry.counter("cdag.builds").increment();
     registry.counter("cdag.vertices_built")
@@ -72,6 +83,7 @@ class Builder {
       sizes.push_back(r);
     }
     cdag_.subproblem_levels.resize(sizes.size());
+    staging_.resize(sizes.size());
     cursors_.assign(sizes.size(), 0);
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       SubproblemLevel& level = cdag_.subproblem_levels[i];
@@ -79,10 +91,10 @@ class Builder {
       const auto depth = static_cast<int>(sizes.size() - 1 - i);
       level.count = static_cast<std::size_t>(ipow_checked(
           static_cast<std::int64_t>(alg_.num_products()), depth));
-      level.output_pool.resize(level.count * level.outputs_per_sub());
-      level.input_pool.resize(level.count * level.inputs_per_sub());
-      level.span_begin.resize(level.count);
-      level.span_end.resize(level.count);
+      staging_[i].output_pool.resize(level.count * level.outputs_per_sub());
+      staging_[i].input_pool.resize(level.count * level.inputs_per_sub());
+      staging_[i].span_begin.resize(level.count);
+      staging_[i].span_end.resize(level.count);
     }
   }
 
@@ -147,14 +159,15 @@ class Builder {
                                       const std::vector<VertexId>& a,
                                       const std::vector<VertexId>& b) {
     FMM_CHECK(a.size() == s * s && b.size() == s * s);
-    SubproblemLevel& level = cdag_.subproblem_levels[level_index(s)];
+    const SubproblemLevel& level = cdag_.subproblem_levels[level_index(s)];
+    LevelStaging& pools = staging_[level_index(s)];
     const std::size_t idx = cursors_[level_index(s)]++;
     FMM_CHECK(idx < level.count);
     std::copy(a.begin(), a.end(),
-              level.input_pool.begin() +
+              pools.input_pool.begin() +
                   static_cast<std::ptrdiff_t>(idx * level.inputs_per_sub()));
     std::copy(b.begin(), b.end(),
-              level.input_pool.begin() +
+              pools.input_pool.begin() +
                   static_cast<std::ptrdiff_t>(idx * level.inputs_per_sub() +
                                               s * s));
     if (s == 1) {
@@ -162,9 +175,9 @@ class Builder {
       const std::vector<VertexId> v = add_vertices(1, Role::kProduct);
       gb_.add_edge(a[0], v[0]);
       gb_.add_edge(b[0], v[0]);
-      level.output_pool[idx] = v[0];
-      level.span_begin[idx] = begin;
-      level.span_end[idx] = static_cast<VertexId>(gb_.num_vertices());
+      pools.output_pool[idx] = v[0];
+      pools.span_begin[idx] = begin;
+      pools.span_end[idx] = static_cast<VertexId>(gb_.num_vertices());
       return v;
     }
 
@@ -205,17 +218,27 @@ class Builder {
     }
 
     std::copy(outputs.begin(), outputs.end(),
-              level.output_pool.begin() +
+              pools.output_pool.begin() +
                   static_cast<std::ptrdiff_t>(idx * level.outputs_per_sub()));
-    level.span_begin[idx] = span_begin;
-    level.span_end[idx] = static_cast<VertexId>(gb_.num_vertices());
+    pools.span_begin[idx] = span_begin;
+    pools.span_end[idx] = static_cast<VertexId>(gb_.num_vertices());
     return outputs;
   }
+
+  /// Mutable pool staging for one level; frozen into the level's
+  /// FrozenArray views at the end of build().
+  struct LevelStaging {
+    std::vector<VertexId> output_pool;
+    std::vector<VertexId> input_pool;
+    std::vector<VertexId> span_begin;
+    std::vector<VertexId> span_end;
+  };
 
   const BilinearAlgorithm& alg_;
   std::size_t n_;
   graph::GraphBuilder gb_;
   std::vector<std::size_t> cursors_;
+  std::vector<LevelStaging> staging_;
   Cdag cdag_;
 };
 

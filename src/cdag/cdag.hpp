@@ -56,10 +56,13 @@ const char* role_name(Role role);
 struct SubproblemLevel {
   std::size_t r = 0;
   std::size_t count = 0;
-  std::vector<graph::VertexId> output_pool;  // count * r^2
-  std::vector<graph::VertexId> input_pool;   // count * 2 r^2
-  std::vector<graph::VertexId> span_begin;   // count
-  std::vector<graph::VertexId> span_end;     // count
+  // Frozen flat pools: owning when the builder produced them, mmap-backed
+  // views when a snapshot loader did (src/snapshot/) — consumers cannot
+  // tell the difference.
+  FrozenArray<graph::VertexId> output_pool;  // count * r^2
+  FrozenArray<graph::VertexId> input_pool;   // count * 2 r^2
+  FrozenArray<graph::VertexId> span_begin;   // count
+  FrozenArray<graph::VertexId> span_end;     // count
 
   std::size_t outputs_per_sub() const { return r * r; }
   std::size_t inputs_per_sub() const { return 2 * r * r; }

@@ -1,0 +1,79 @@
+// Immutable flat array with detachable ownership — the substrate of the
+// zero-copy snapshot reader (src/snapshot/).
+//
+// A FrozenArray<T> is a read-only view plus a shared keep-alive handle.
+// Two provenances share the one type:
+//
+//   - owning: constructed from a std::vector<T>, which is moved into a
+//     shared control block (the build-then-freeze path — GraphBuilder,
+//     the CDAG builder);
+//   - mapped: constructed from a span over externally owned bytes (an
+//     mmap-ed fmm.snap section) plus the shared_ptr that keeps the
+//     mapping alive.  No copy is ever made; the last FrozenArray (or
+//     other holder) to release the handle unmaps the file.
+//
+// Consumers cannot tell the two apart: iteration, indexing, size() and
+// implicit conversion to std::span<const T> behave identically, and
+// equality compares CONTENTS (two arrays with identical elements are
+// equal regardless of where the bytes live) — which keeps
+// CsrGraph::operator== meaningful across built and snapshot-loaded
+// graphs.  Copying a FrozenArray copies the view and bumps the
+// refcount, never the elements.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fmm {
+
+template <typename T>
+class FrozenArray {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  /// Empty array.
+  FrozenArray() = default;
+
+  /// Owning: adopts the vector's buffer (implicit, so freeze-style code
+  /// can assign a locally built std::vector directly).
+  FrozenArray(std::vector<T> owned) {  // NOLINT(google-explicit-constructor)
+    auto holder = std::make_shared<std::vector<T>>(std::move(owned));
+    view_ = std::span<const T>(holder->data(), holder->size());
+    keep_alive_ = std::move(holder);
+  }
+
+  /// Mapped: a view over bytes owned by `keep_alive` (e.g. an mmap-ed
+  /// snapshot); the handle is held for the array's lifetime.
+  FrozenArray(std::span<const T> view, std::shared_ptr<const void> keep_alive)
+      : view_(view), keep_alive_(std::move(keep_alive)) {}
+
+  const T* data() const { return view_.data(); }
+  std::size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+
+  const T& operator[](std::size_t i) const { return view_[i]; }
+  const T& front() const { return view_.front(); }
+  const T& back() const { return view_.back(); }
+
+  const_iterator begin() const { return view_.data(); }
+  const_iterator end() const { return view_.data() + view_.size(); }
+
+  operator std::span<const T>() const { return view_; }  // NOLINT
+
+  /// Content equality — provenance (owning vs mapped) is invisible.
+  friend bool operator==(const FrozenArray& a, const FrozenArray& b) {
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::span<const T> view_;
+  std::shared_ptr<const void> keep_alive_;
+};
+
+}  // namespace fmm

@@ -16,8 +16,8 @@ namespace {
 /// Rejects parallel edges in O(V + E) with a per-source stamp: scanning
 /// bucket u, mark[v] == u means v was already seen as a neighbor of u.
 /// Works because every valid source id is < V <= kNoVertex.
-void check_no_parallel_edges(const std::vector<std::uint32_t>& offsets,
-                             const std::vector<VertexId>& edges,
+void check_no_parallel_edges(std::span<const std::uint32_t> offsets,
+                             std::span<const VertexId> edges,
                              std::size_t num_vertices) {
   std::vector<VertexId> mark(num_vertices, kNoVertex);
   for (std::size_t u = 0; u < num_vertices; ++u) {
@@ -174,10 +174,67 @@ std::string CsrGraph::to_dot(const std::vector<std::string>& labels,
 }
 
 std::size_t CsrGraph::memory_bytes() const {
-  return out_offsets_.capacity() * sizeof(std::uint32_t) +
-         in_offsets_.capacity() * sizeof(std::uint32_t) +
-         out_edges_.capacity() * sizeof(VertexId) +
-         in_edges_.capacity() * sizeof(VertexId);
+  // Size-based (not capacity-based): a snapshot-loaded view and a
+  // freshly built graph over the same content must report identical
+  // footprints for the service's byte-identical `cdag` responses.
+  return out_offsets_.size() * sizeof(std::uint32_t) +
+         in_offsets_.size() * sizeof(std::uint32_t) +
+         out_edges_.size() * sizeof(VertexId) +
+         in_edges_.size() * sizeof(VertexId);
+}
+
+CsrGraph CsrGraph::from_frozen_parts(FrozenArray<std::uint32_t> out_offsets,
+                                     FrozenArray<std::uint32_t> in_offsets,
+                                     FrozenArray<VertexId> out_edges,
+                                     FrozenArray<VertexId> in_edges,
+                                     PartsValidation validation) {
+  FMM_CHECK_MSG(out_offsets.size() == in_offsets.size(),
+                "csr parts: offset arrays disagree (" << out_offsets.size()
+                    << " vs " << in_offsets.size() << ")");
+  CsrGraph g;
+  if (out_offsets.empty()) {
+    FMM_CHECK_MSG(out_edges.empty() && in_edges.empty(),
+                  "csr parts: edges present with no offsets");
+    return g;
+  }
+  const std::size_t nv = out_offsets.size() - 1;
+  const auto check_direction = [&](std::span<const std::uint32_t> offsets,
+                                   std::span<const VertexId> edges,
+                                   bool edges_ascend, const char* name) {
+    FMM_CHECK_MSG(offsets[0] == 0,
+                  "csr parts: " << name << " offsets do not start at 0");
+    FMM_CHECK_MSG(offsets[nv] == edges.size(),
+                  "csr parts: " << name << " offsets end at " << offsets[nv]
+                                << ", edge array has " << edges.size());
+    if (validation == PartsValidation::kTrustChecksummed) {
+      return;  // interiors covered by the caller's checksum
+    }
+    for (std::size_t v = 0; v < nv; ++v) {
+      FMM_CHECK_MSG(offsets[v] <= offsets[v + 1],
+                    "csr parts: " << name << " offsets not monotone at "
+                                  << v);
+      for (std::size_t k = offsets[v]; k < offsets[v + 1]; ++k) {
+        const VertexId w = edges[k];
+        FMM_CHECK_MSG(w < nv, "csr parts: " << name << " edge target "
+                                            << w << " out of range " << nv);
+        // Topological append order: out-neighbors of v are all > v,
+        // in-neighbors all < v.
+        FMM_CHECK_MSG(edges_ascend ? w > v : w < v,
+                      "csr parts: " << name << " edge (" << v << "," << w
+                                    << ") violates topological order");
+      }
+    }
+  };
+  FMM_CHECK_MSG(out_edges.size() == in_edges.size(),
+                "csr parts: edge arrays disagree (" << out_edges.size()
+                    << " vs " << in_edges.size() << ")");
+  check_direction(out_offsets, out_edges, /*edges_ascend=*/true, "out");
+  check_direction(in_offsets, in_edges, /*edges_ascend=*/false, "in");
+  g.out_offsets_ = std::move(out_offsets);
+  g.in_offsets_ = std::move(in_offsets);
+  g.out_edges_ = std::move(out_edges);
+  g.in_edges_ = std::move(in_edges);
+  return g;
 }
 
 VertexId GraphBuilder::add_vertices(std::size_t count) {
@@ -213,37 +270,51 @@ CsrGraph GraphBuilder::freeze() {
                            << ") violates topological append order (u < v)");
   }
 
-  CsrGraph g;
-  build_direction(src, dst, nv, g.out_offsets_, g.out_edges_);
-  build_direction(dst, src, nv, g.in_offsets_, g.in_edges_);
-  check_no_parallel_edges(g.out_offsets_, g.out_edges_, nv);
+  std::vector<std::uint32_t> out_offsets;
+  std::vector<std::uint32_t> in_offsets;
+  std::vector<VertexId> out_edges;
+  std::vector<VertexId> in_edges;
+  build_direction(src, dst, nv, out_offsets, out_edges);
+  build_direction(dst, src, nv, in_offsets, in_edges);
+  check_no_parallel_edges(out_offsets, out_edges, nv);
 
+  CsrGraph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.in_offsets_ = std::move(in_offsets);
+  g.out_edges_ = std::move(out_edges);
+  g.in_edges_ = std::move(in_edges);
   record_freeze_metrics(g, watch.nanoseconds());
   return g;
 }
 
 CsrGraph csr_from_digraph(const Digraph& d) {
   const std::size_t nv = d.num_vertices();
-  CsrGraph g;
-  g.out_offsets_.assign(nv + 1, 0);
-  g.in_offsets_.assign(nv + 1, 0);
-  g.out_edges_.reserve(d.num_edges());
-  g.in_edges_.reserve(d.num_edges());
+  std::vector<std::uint32_t> out_offsets(nv + 1, 0);
+  std::vector<std::uint32_t> in_offsets(nv + 1, 0);
+  std::vector<VertexId> out_edges;
+  std::vector<VertexId> in_edges;
+  out_edges.reserve(d.num_edges());
+  in_edges.reserve(d.num_edges());
   // Copy each direction's per-vertex list verbatim: both neighbor orders
   // survive exactly (a single global edge replay could only preserve one).
   for (VertexId v = 0; v < nv; ++v) {
     for (const VertexId w : d.out_neighbors(v)) {
       FMM_CHECK_MSG(v < w, "edge (" << v << "," << w
                                     << ") violates topological append order");
-      g.out_edges_.push_back(w);
+      out_edges.push_back(w);
     }
-    g.out_offsets_[v + 1] = static_cast<std::uint32_t>(g.out_edges_.size());
+    out_offsets[v + 1] = static_cast<std::uint32_t>(out_edges.size());
     for (const VertexId u : d.in_neighbors(v)) {
-      g.in_edges_.push_back(u);
+      in_edges.push_back(u);
     }
-    g.in_offsets_[v + 1] = static_cast<std::uint32_t>(g.in_edges_.size());
+    in_offsets[v + 1] = static_cast<std::uint32_t>(in_edges.size());
   }
-  check_no_parallel_edges(g.out_offsets_, g.out_edges_, nv);
+  check_no_parallel_edges(out_offsets, out_edges, nv);
+  CsrGraph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.in_offsets_ = std::move(in_offsets);
+  g.out_edges_ = std::move(out_edges);
+  g.in_edges_ = std::move(in_edges);
   record_freeze_metrics(g, 0);
   return g;
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/frozen_array.hpp"
 #include "graph/digraph.hpp"
 
 namespace fmm::graph {
@@ -74,9 +75,51 @@ class CsrGraph {
   std::string to_dot(const std::vector<std::string>& labels = {},
                      bool allow_large = false) const;
 
-  /// Heap bytes held by the adjacency arrays (capacity, both directions).
+  /// Bytes held by the adjacency arrays (element sizes, both
+  /// directions).  Size-based, not capacity-based, so a built graph and
+  /// a snapshot-loaded view over identical content report the same
+  /// footprint — the `cdag` op's byte-identity contract depends on it.
   std::size_t memory_bytes() const;
 
+  /// Flat-array views over the frozen representation, in serialization
+  /// order (the fmm.snap writer's sections).  Offsets have size V+1 (or
+  /// 0 for the empty graph); edge arrays have size E.
+  std::span<const std::uint32_t> out_offset_array() const {
+    return out_offsets_;
+  }
+  std::span<const std::uint32_t> in_offset_array() const {
+    return in_offsets_;
+  }
+  std::span<const VertexId> out_edge_array() const { return out_edges_; }
+  std::span<const VertexId> in_edge_array() const { return in_edges_; }
+
+  /// Validation depth for from_frozen_parts.
+  enum class PartsValidation {
+    /// Re-validate the structural invariants freeze() established:
+    /// monotone offsets ending at the edge count, every edge id in range
+    /// and obeying topological order.  Parallel-edge freedom and out/in
+    /// consistency are NOT re-verified — the snapshot checksums cover
+    /// byte integrity, and those invariants cannot cause out-of-bounds
+    /// traversal.
+    kValidate,
+    /// O(1) boundary checks only (array-size consistency, offsets start
+    /// at 0 and end at the edge count); the array interiors are trusted.
+    /// For snapshot sections whose integrity was already established by
+    /// a checksum at publish time (Verify::kMapped loads).
+    kTrustChecksummed,
+  };
+
+  /// Reconstructs a frozen graph from externally owned flat arrays —
+  /// the mmap-backed snapshot reader's zero-copy path.  Throws
+  /// CheckError on any violation at the chosen validation depth.
+  static CsrGraph from_frozen_parts(
+      FrozenArray<std::uint32_t> out_offsets,
+      FrozenArray<std::uint32_t> in_offsets,
+      FrozenArray<VertexId> out_edges, FrozenArray<VertexId> in_edges,
+      PartsValidation validation = PartsValidation::kValidate);
+
+  /// Content equality (FrozenArray compares elements), so built and
+  /// snapshot-loaded graphs with identical structure are equal.
   friend bool operator==(const CsrGraph&, const CsrGraph&) = default;
 
  private:
@@ -84,11 +127,12 @@ class CsrGraph {
   friend CsrGraph csr_from_digraph(const Digraph& g);
 
   // offsets have size V+1 (or 0 for the empty graph); edge arrays are
-  // indexed offsets[v] .. offsets[v+1].
-  std::vector<std::uint32_t> out_offsets_;
-  std::vector<std::uint32_t> in_offsets_;
-  std::vector<VertexId> out_edges_;
-  std::vector<VertexId> in_edges_;
+  // indexed offsets[v] .. offsets[v+1].  FrozenArray views: owning for
+  // freeze()-built graphs, mmap-backed for snapshot-loaded ones.
+  FrozenArray<std::uint32_t> out_offsets_;
+  FrozenArray<std::uint32_t> in_offsets_;
+  FrozenArray<VertexId> out_edges_;
+  FrozenArray<VertexId> in_edges_;
 };
 
 /// Append-only accumulator for CsrGraph.  Mirrors Digraph's construction

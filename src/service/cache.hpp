@@ -3,9 +3,14 @@
 // Two kinds of entries share one budgeted store:
 //
 //   cdag/<fp>    — a frozen, read-only cdag::Cdag; <fp> is the FNV-1a
-//                  fingerprint of "algorithm|n".  Building H^{n x n}
-//                  costs milliseconds-to-seconds; a warm hit is a
-//                  shared_ptr copy.
+//                  fingerprint of "scheme:<scheme-fingerprint>|n", where
+//                  the scheme fingerprint is the content hash of the
+//                  resolved bilinear scheme (bilinear::SchemeTraits) —
+//                  NOT the user-supplied algorithm spelling, so
+//                  "strassen" and "file:schemes/strassen_222_7.json"
+//                  share one entry.  Building H^{n x n} costs
+//                  milliseconds-to-seconds; a warm hit is a shared_ptr
+//                  copy.
 //   result/<fp>  — the RENDERED result-JSON string of a completed
 //                  bound/simulate/liveness/cdag request; <fp> is the
 //                  fingerprint of the request's canonical JSON echo

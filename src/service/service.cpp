@@ -147,14 +147,35 @@ std::shared_ptr<const cdag::Cdag> CachingCdagSource::get_cdag(
       sweep::resolve_traits(algorithm).fingerprint;
   return cache_.get_or_build_cdag(
       ContentCache::cdag_key("scheme:" + fingerprint, n), [&] {
-        return cdag::build_cdag(sweep::resolve_algorithm(algorithm), n);
+        // Second level: the shared on-disk snapshot store.  The whole
+        // fallback runs inside the cache's single-flight, so per process
+        // each CDAG is loaded-or-built (and published) exactly once.
+        if (store_ != nullptr) {
+          if (std::optional<cdag::Cdag> loaded =
+                  store_->try_load(fingerprint, n)) {
+            return std::move(*loaded);
+          }
+        }
+        cdag::Cdag built =
+            cdag::build_cdag(sweep::resolve_algorithm(algorithm), n);
+        if (store_ != nullptr) {
+          store_->publish(fingerprint, n, built);
+        }
+        return built;
       });
 }
 
 QueryService::QueryService(ServiceConfig config)
     : config_(config),
       cache_(config.cache),
-      cdag_source_(cache_),
+      store_(config_.snapshot_dir.empty()
+                 ? nullptr
+                 : std::make_unique<snapshot::SnapshotStore>(
+                       snapshot::SnapshotStoreConfig{
+                           config_.snapshot_dir,
+                           config_.snapshot_budget_bytes,
+                           snapshot::Verify::kFull})),
+      cdag_source_(cache_, store_.get()),
       pool_(config.num_threads),
       telemetry_(telemetry_config_from(config)) {}
 
@@ -839,6 +860,10 @@ void QueryService::attach_to(obs::RunReport& report) const {
                     static_cast<std::int64_t>(telemetry_.slow_count()));
   report.add_raw_section("service", service_json());
   report.add_raw_section("telemetry", telemetry_json());
+  if (store_ != nullptr) {
+    report.set_param("snapshot_dir", store_->directory());
+    report.add_raw_section("snapshot", store_->stats_json());
+  }
 }
 
 #ifdef __unix__

@@ -43,11 +43,14 @@
 #include <optional>
 #include <string>
 
+#include <memory>
+
 #include "obs/run_report.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
+#include "snapshot/store.hpp"
 #include "sweep/sweep.hpp"
 
 namespace fmm::service {
@@ -57,16 +60,23 @@ inline constexpr int kTelemetrySchemaVersion = 1;
 
 /// sweep::CdagSource backed by the service cache, so sweep cells, serve
 /// requests and single-shot subcommands share one content-addressed
-/// store of frozen CDAGs (and one build code path).
+/// store of frozen CDAGs (and one build code path).  With a
+/// SnapshotStore attached, a memory miss falls back to the store (the
+/// fabric's shared second-level cache) before building, and a fresh
+/// build is published for the other workers — all inside the cache's
+/// single-flight, so each CDAG is loaded-or-built once per process.
 class CachingCdagSource final : public sweep::CdagSource {
  public:
-  explicit CachingCdagSource(ContentCache& cache) : cache_(cache) {}
+  explicit CachingCdagSource(ContentCache& cache,
+                             snapshot::SnapshotStore* store = nullptr)
+      : cache_(cache), store_(store) {}
 
   std::shared_ptr<const cdag::Cdag> get_cdag(const std::string& algorithm,
                                              std::size_t n) override;
 
  private:
   ContentCache& cache_;
+  snapshot::SnapshotStore* store_;  // optional second-level cache
 };
 
 struct ServiceConfig {
@@ -81,6 +91,12 @@ struct ServiceConfig {
   CacheConfig cache;
   /// Virtual-clock deadline per request in ticks; 0 = no deadline.
   std::int64_t deadline_ticks = 0;
+  /// Directory of the shared on-disk snapshot store (the second-level
+  /// CDAG cache, src/snapshot/store.hpp); empty disables it.
+  std::string snapshot_dir;
+  /// Snapshot store byte budget (0 = unlimited); only meaningful with
+  /// snapshot_dir set.
+  std::uint64_t snapshot_budget_bytes = 0;
   /// Recent-request telemetry ring size (the `tail` op's window).
   std::size_t telemetry_ring = 256;
   /// Slow-query log size (requests over slow_ms, also via `tail`).
@@ -135,6 +151,9 @@ class QueryService {
 
   ContentCache& cache() { return cache_; }
   sweep::CdagSource& cdag_source() { return cdag_source_; }
+  /// The shared on-disk snapshot store, or nullptr when snapshot_dir is
+  /// unset.
+  snapshot::SnapshotStore* snapshot_store() { return store_.get(); }
   const ServiceConfig& config() const { return config_; }
 
   /// Point-in-time session tallies.
@@ -159,7 +178,9 @@ class QueryService {
 
   /// Embeds service_json() under extra.service, telemetry_json() under
   /// extra.telemetry, and records headline results
-  /// (service_requests/service_ok/...).
+  /// (service_requests/service_ok/...).  With a snapshot store
+  /// configured, also records the snapshot_dir param and embeds the
+  /// store's stats under extra.snapshot.
   void attach_to(obs::RunReport& report) const;
 
  private:
@@ -202,6 +223,8 @@ class QueryService {
 
   ServiceConfig config_;
   ContentCache cache_;
+  // Constructed before cdag_source_, which captures the raw pointer.
+  std::unique_ptr<snapshot::SnapshotStore> store_;
   CachingCdagSource cdag_source_;
   parallel::ThreadPool pool_;
   obs::TelemetrySink telemetry_;

@@ -19,12 +19,22 @@ fabric contract from the outside:
     check_report_schema.py — see the fabric_smoke_schema ctest
     fixture).
 
+Then plays the same session through the snapshot store's shared-cache
+contract (docs/SNAPSHOTS.md): two cold-process `fmmio serve
+--snapshot-dir` runs against one store directory, asserting the first
+run publishes, the second run builds NOTHING (metrics cdag.builds == 0,
+extra.snapshot publishes == 0 with hits >= 1), and both are
+byte-identical to the storeless run; finally a cold `fmmio router
+--transport process --snapshot-dir` (fork/exec workers mounting the
+pre-warmed store) must also be byte-identical.
+
 Exit code 0 iff every assertion holds.
 """
 import json
 import re
 import subprocess
 import sys
+import tempfile
 
 
 def strip_ids(text):
@@ -121,12 +131,79 @@ def main(argv):
         except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
             check(False, f"router report unreadable or incomplete: {exc}")
 
+    # Shared-store phase: N cold processes, one store, zero rebuilds
+    # after the first.
+    with tempfile.TemporaryDirectory(prefix="fabric_smoke_snap") as store:
+        def load_report(path, tag):
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    return json.load(f)
+            except (OSError, json.JSONDecodeError) as exc:
+                check(False, f"{tag} report unreadable: {exc}")
+                return {}
+
+        cold = run([fmmio, "serve", "--threads", "2",
+                    "--snapshot-dir", store,
+                    "--out", store + "/cold.json"], stdin_text)
+        check(cold.returncode == 0,
+              f"cold serve exited {cold.returncode}; "
+              f"stderr:\n{cold.stderr}")
+        warm = run([fmmio, "serve", "--threads", "2",
+                    "--snapshot-dir", store,
+                    "--out", store + "/warm.json"], stdin_text)
+        check(warm.returncode == 0,
+              f"warm serve exited {warm.returncode}; "
+              f"stderr:\n{warm.stderr}")
+        # Snapshots must never change a response byte.
+        check(cold.stdout == single.stdout,
+              "cold --snapshot-dir serve output differs from storeless "
+              f"serve:\n--- serve ---\n{single.stdout}"
+              f"--- cold ---\n{cold.stdout}")
+        check(warm.stdout == single.stdout,
+              "warm --snapshot-dir serve output differs from storeless "
+              f"serve:\n--- serve ---\n{single.stdout}"
+              f"--- warm ---\n{warm.stdout}")
+
+        cold_report = load_report(store + "/cold.json", "cold serve")
+        snap_cold = cold_report.get("extra", {}).get("snapshot", {})
+        check(snap_cold.get("publishes", 0) >= 1,
+              f"cold serve published nothing: {snap_cold}")
+        check(cold_report.get("metrics", {}).get("cdag.builds", 0) >= 1,
+              "cold serve against an empty store built no CDAGs")
+        warm_report = load_report(store + "/warm.json", "warm serve")
+        snap_warm = warm_report.get("extra", {}).get("snapshot", {})
+        check(snap_warm.get("publishes") == 0,
+              f"warm serve re-published over a warm store: {snap_warm}")
+        check(snap_warm.get("hits", 0) >= 1,
+              f"warm serve never hit the store: {snap_warm}")
+        # Counters are created lazily, so an absent cdag.builds IS the
+        # zero-rebuild proof.
+        check(warm_report.get("metrics", {}).get("cdag.builds", 0) == 0,
+              "warm serve rebuilt a CDAG despite the warm store: "
+              f"cdag.builds = "
+              f"{warm_report.get('metrics', {}).get('cdag.builds')!r}")
+
+        # Cold fork/exec fabric mounting the pre-warmed store: every
+        # worker shares it, and responses stay byte-identical.
+        fabric_snap = run([fmmio, "router", "--workers", "2",
+                           "--transport", "process",
+                           "--snapshot-dir", store], stdin_text)
+        check(fabric_snap.returncode == 0,
+              f"snapshot router exited {fabric_snap.returncode}; "
+              f"stderr:\n{fabric_snap.stderr}")
+        check(strip_ids(fabric_snap.stdout) == strip_ids(single.stdout),
+              "snapshot-backed process router output differs from "
+              f"single-process output:\n--- serve ---\n{single.stdout}"
+              f"--- router ---\n{fabric_snap.stdout}")
+
     for msg in failures:
         print(f"fabric_smoke: {msg}", file=sys.stderr)
     if not failures:
         print(f"fabric_smoke: OK ({len(REQUESTS)} requests, router+4 "
               "workers with injected kill byte-identical to "
-              "single-process serve)")
+              "single-process serve; shared snapshot store served "
+              "2 cold serves + a process-transport router with zero "
+              "warm rebuilds)")
     return 1 if failures else 0
 
 
